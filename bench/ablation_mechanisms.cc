@@ -1,0 +1,118 @@
+// Ablation (ours, beyond the paper): how much of the load-balance quality
+// comes from which adaptation mechanisms?  Re-runs the Figure 7/8 setup
+// (2,000 dual-peer nodes, moving hot spots, 25 rounds) with mechanism
+// subsets enabled:
+//   all          (a)-(h)         the full system
+//   local-only   (a)-(e)         no TTL search
+//   seat-moves   (a),(b),(e)-(h) no merge/split (geometry frozen)
+//   geometry     (c),(d)         only merge/split
+//   none         --              the no-adaptation reference
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+
+using namespace geogrid;
+using loadbalance::Mechanism;
+
+namespace {
+
+constexpr std::size_t kPeers = 2000;
+constexpr int kRounds = 25;
+
+struct Variant {
+  const char* name;
+  std::array<bool, loadbalance::kMechanismCount> enabled;
+};
+
+constexpr std::array<bool, 8> mask(std::initializer_list<Mechanism> ms) {
+  std::array<bool, 8> m{};
+  for (const Mechanism mech : ms) m[static_cast<std::size_t>(mech)] = true;
+  return m;
+}
+
+const Variant kVariants[] = {
+    {"all", mask({Mechanism::kStealSecondary, Mechanism::kSwitchPrimary,
+                  Mechanism::kMergeNeighbor, Mechanism::kSplitRegion,
+                  Mechanism::kSwitchWithNeighborSecondary,
+                  Mechanism::kStealRemoteSecondary,
+                  Mechanism::kSwitchWithRemoteSecondary,
+                  Mechanism::kSwitchWithRemotePrimary})},
+    {"local-only", mask({Mechanism::kStealSecondary, Mechanism::kSwitchPrimary,
+                         Mechanism::kMergeNeighbor, Mechanism::kSplitRegion,
+                         Mechanism::kSwitchWithNeighborSecondary})},
+    {"seat-moves", mask({Mechanism::kStealSecondary, Mechanism::kSwitchPrimary,
+                         Mechanism::kSwitchWithNeighborSecondary,
+                         Mechanism::kStealRemoteSecondary,
+                         Mechanism::kSwitchWithRemoteSecondary,
+                         Mechanism::kSwitchWithRemotePrimary})},
+    {"geometry", mask({Mechanism::kMergeNeighbor, Mechanism::kSplitRegion})},
+    {"none", mask({})},
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = bench::runs_per_point(3);
+  std::printf(
+      "Ablation: adaptation mechanism subsets, %zu peers, %d rounds, "
+      "moving hot spots (%zu runs)\n",
+      kPeers, kRounds, runs);
+  auto csv = bench::csv_for("ablation");
+  if (csv) {
+    csv->header({"variant", "stddev_index", "mean_index", "max_index",
+                 "adaptations"});
+  }
+  std::printf("%-12s  %12s %12s %12s  %12s\n", "variant", "stddev", "mean",
+              "max", "adaptations");
+
+  for (const Variant& variant : kVariants) {
+    RunningStats sd, mn, mx, ops;
+    for (std::size_t run = 0; run < runs; ++run) {
+      core::SimulationOptions opt;
+      opt.mode = core::GridMode::kDualPeerAdaptive;
+      opt.node_count = kPeers;
+      opt.seed = 7000 + run;
+      opt.planner.enabled = variant.enabled;
+      core::GridSimulation sim(opt);
+      Rng step_rng(911 + run);
+      for (int round = 0; round < kRounds; ++round) {
+        sim.migrate_hotspots(
+            static_cast<std::size_t>(step_rng.uniform_int(4, 10)));
+        sim.driver().run_round();
+      }
+      const Summary s = sim.workload_summary();
+      sd.add(s.stddev);
+      mn.add(s.mean);
+      mx.add(s.max);
+      ops.add(static_cast<double>(sim.driver().total().executed));
+    }
+    std::printf("%-12s  %12.6f %12.6f %12.6f  %12.0f\n", variant.name,
+                sd.mean(), mn.mean(), mx.mean(), ops.mean());
+    if (csv) {
+      csv->row(variant.name, sd.mean(), mn.mean(), mx.mean(), ops.mean());
+    }
+  }
+
+  // Per-mechanism usage under the full system, for the breakdown table.
+  bench::banner("mechanism usage (full system)");
+  core::SimulationOptions opt;
+  opt.mode = core::GridMode::kDualPeerAdaptive;
+  opt.node_count = kPeers;
+  opt.seed = 7000;
+  core::GridSimulation sim(opt);
+  Rng step_rng(911);
+  for (int round = 0; round < kRounds; ++round) {
+    sim.migrate_hotspots(
+        static_cast<std::size_t>(step_rng.uniform_int(4, 10)));
+    sim.driver().run_round();
+  }
+  const auto& total = sim.driver().total();
+  for (std::size_t i = 0; i < loadbalance::kMechanismCount; ++i) {
+    std::printf("  (%c) %-34s %6zu\n",
+                loadbalance::mechanism_letter(static_cast<Mechanism>(i)),
+                loadbalance::mechanism_name(static_cast<Mechanism>(i)).data(),
+                total.per_mechanism[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Churn resilience (ours): the paper lists "unpredictable rate of node
+// join, departure and failure" among the conditions GeoGrid must balance
+// under.  This bench holds the hot-spot workload fixed-but-moving and
+// sweeps the per-round churn rate (fraction of nodes replaced per
+// adaptation round, half departures half crashes), reporting the
+// steady-state balance the adaptive system maintains.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+
+using namespace geogrid;
+
+namespace {
+
+constexpr std::size_t kPeers = 2000;
+constexpr int kRounds = 20;
+
+struct Result {
+  double stddev = 0.0;
+  double mean = 0.0;
+  double adaptations = 0.0;
+};
+
+Result run_with_churn(double churn_rate, std::uint64_t seed) {
+  core::SimulationOptions opt;
+  opt.mode = core::GridMode::kDualPeerAdaptive;
+  opt.node_count = kPeers;
+  opt.seed = seed;
+  core::GridSimulation sim(opt);
+  Rng rng(seed ^ 0xc0ffee);
+
+  std::vector<NodeId> members;
+  for (const auto& [id, info] : sim.partition().nodes()) {
+    members.push_back(id);
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    sim.migrate_hotspots(static_cast<std::size_t>(rng.uniform_int(4, 10)));
+    // Churn: replace churn_rate of the population.
+    const auto replaced =
+        static_cast<std::size_t>(churn_rate * static_cast<double>(kPeers));
+    for (std::size_t k = 0; k < replaced; ++k) {
+      const auto idx = rng.uniform_index(members.size());
+      sim.remove_node(members[idx], /*crash=*/rng.chance(0.5));
+      members[idx] = members.back();
+      members.pop_back();
+    }
+    for (std::size_t k = 0; k < replaced; ++k) {
+      members.push_back(sim.add_node());
+    }
+    sim.driver().run_round();
+  }
+  const Summary s = sim.workload_summary();
+  return Result{s.stddev, s.mean,
+                static_cast<double>(sim.driver().total().executed)};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = bench::runs_per_point(3);
+  std::printf(
+      "Churn resilience: %zu peers, %d rounds, moving hot spots (%zu "
+      "runs/point)\n",
+      kPeers, kRounds, runs);
+  auto csv = bench::csv_for("churn");
+  if (csv) {
+    csv->header({"churn_rate", "stddev_index", "mean_index", "adaptations"});
+  }
+  std::printf("%12s  %12s %12s %12s\n", "churn/round", "stddev", "mean",
+              "adaptations");
+  for (const double rate : {0.0, 0.01, 0.05, 0.10}) {
+    RunningStats sd, mn, ops;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const Result r = run_with_churn(rate, 5000 + run);
+      sd.add(r.stddev);
+      mn.add(r.mean);
+      ops.add(r.adaptations);
+    }
+    std::printf("%11.0f%%  %12.6f %12.6f %12.0f\n", rate * 100.0, sd.mean(),
+                mn.mean(), ops.mean());
+    if (csv) csv->row(rate, sd.mean(), mn.mean(), ops.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figures 5 and 6: standard deviation (Fig 5) and mean (Fig 6) of the
+// per-node workload index versus population, for the three system
+// variants.  Populations follow the paper (1,000 to 16,000 end users);
+// each point averages GEOGRID_RUNS randomly generated networks (the paper
+// uses 100; default here is smaller for quick sweeps).
+//
+// Expected shape (paper): both metrics fall with N; GeoGrid+DualPeer beats
+// Basic; GeoGrid+DualPeer+Adaptation beats Basic by about an order of
+// magnitude at every population.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/engine.h"
+
+using namespace geogrid;
+
+namespace {
+
+constexpr std::size_t kPopulations[] = {1000, 2000, 4000, 8000, 16000};
+constexpr core::GridMode kModes[] = {core::GridMode::kBasic,
+                                     core::GridMode::kDualPeer,
+                                     core::GridMode::kDualPeerAdaptive};
+
+struct PointResult {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double max = 0.0;
+};
+
+PointResult measure(core::GridMode mode, std::size_t nodes,
+                    std::uint64_t seed) {
+  core::SimulationOptions opt;
+  opt.mode = mode;
+  opt.node_count = nodes;
+  opt.seed = seed;
+  core::GridSimulation sim(opt);
+  // Hot spots migrate after the build, as in the paper's moving-hot-spot
+  // workload; the adaptive system then runs its adaptation process.
+  sim.migrate_hotspots(4);
+  if (mode == core::GridMode::kDualPeerAdaptive) {
+    for (int round = 0; round < 15; ++round) {
+      if (sim.driver().run_round().executed == 0) break;
+    }
+  }
+  const Summary s = sim.workload_summary();
+  return PointResult{s.mean, s.stddev, s.max};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = bench::runs_per_point();
+  std::printf("Figures 5-6: workload index vs population (%zu runs/point)\n",
+              runs);
+  auto csv = bench::csv_for("fig5_6");
+  if (csv) {
+    csv->header({"system", "nodes", "runs", "mean_index", "stddev_index",
+                 "max_index"});
+  }
+
+  std::printf("%-32s %7s  %12s %12s %12s\n", "system", "nodes", "mean",
+              "stddev", "max");
+  for (const auto mode : kModes) {
+    for (const std::size_t nodes : kPopulations) {
+      RunningStats mean_acc, stddev_acc, max_acc;
+      for (std::size_t run = 0; run < runs; ++run) {
+        const auto r = measure(mode, nodes, 1000 + run);
+        mean_acc.add(r.mean);
+        stddev_acc.add(r.stddev);
+        max_acc.add(r.max);
+      }
+      std::printf("%-32s %7zu  %12.6f %12.6f %12.6f\n",
+                  core::grid_mode_name(mode).data(), nodes, mean_acc.mean(),
+                  stddev_acc.mean(), max_acc.mean());
+      if (csv) {
+        csv->row(core::grid_mode_name(mode), nodes, runs, mean_acc.mean(),
+                 stddev_acc.mean(), max_acc.mean());
+      }
+    }
+  }
+  return 0;
+}

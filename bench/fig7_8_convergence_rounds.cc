@@ -1,0 +1,112 @@
+// Figures 7 and 8: convergence of the mean (Fig 7) and standard deviation
+// (Fig 8) of the workload index, plotted by round of adaptation, for 2,000
+// peers.  Three series:
+//   * static hot spots  — hot spots appear once and never move;
+//   * moving hot spots  — hot spots advance 4-10 epochs per round (the
+//     paper: "hot spots move 4 to 10 steps before a round of adaptation
+//     ends");
+//   * no adaptation     — reference line under the moving scenario.
+//
+// Expected shape (paper): both scenarios converge within the first few
+// rounds; the moving scenario shows surges before settling; the
+// no-adaptation line stays roughly an order of magnitude above.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+
+using namespace geogrid;
+
+namespace {
+
+constexpr std::size_t kPeers = 2000;
+constexpr int kRounds = 25;
+
+core::GridSimulation make_sim(std::uint64_t seed, bool adaptive) {
+  core::SimulationOptions opt;
+  // "The service network is setup first using only dual peer technique.
+  // When hot spots appear, we turn on the load balance adaptation."
+  opt.mode = adaptive ? core::GridMode::kDualPeerAdaptive
+                      : core::GridMode::kDualPeer;
+  opt.node_count = kPeers;
+  opt.seed = seed;
+  return core::GridSimulation(opt);
+}
+
+struct Series {
+  std::vector<double> mean, stddev, max;
+};
+
+Series run_scenario(std::uint64_t seed, bool moving, bool adaptive) {
+  core::GridSimulation sim = make_sim(seed, adaptive);
+  Rng step_rng(seed ^ 0x5eed);
+  Series out;
+  for (int round = 0; round < kRounds; ++round) {
+    if (moving) {
+      sim.migrate_hotspots(
+          static_cast<std::size_t>(step_rng.uniform_int(4, 10)));
+    }
+    if (adaptive) sim.driver().run_round();
+    const Summary s = sim.workload_summary();
+    out.mean.push_back(s.mean);
+    out.stddev.push_back(s.stddev);
+    out.max.push_back(s.max);
+  }
+  return out;
+}
+
+Series average(const std::vector<Series>& all) {
+  Series avg;
+  for (int round = 0; round < kRounds; ++round) {
+    RunningStats m, s, x;
+    for (const auto& series : all) {
+      m.add(series.mean[round]);
+      s.add(series.stddev[round]);
+      x.add(series.max[round]);
+    }
+    avg.mean.push_back(m.mean());
+    avg.stddev.push_back(s.mean());
+    avg.max.push_back(x.mean());
+  }
+  return avg;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = bench::runs_per_point();
+  std::printf(
+      "Figures 7-8: convergence by adaptation round, %zu peers (%zu runs)\n",
+      kPeers, runs);
+
+  std::vector<Series> stat, dyn, none;
+  for (std::size_t run = 0; run < runs; ++run) {
+    stat.push_back(run_scenario(500 + run, /*moving=*/false, true));
+    dyn.push_back(run_scenario(500 + run, /*moving=*/true, true));
+    none.push_back(run_scenario(500 + run, /*moving=*/true, false));
+  }
+  const Series s_static = average(stat);
+  const Series s_moving = average(dyn);
+  const Series s_none = average(none);
+
+  auto csv = bench::csv_for("fig7_8");
+  if (csv) {
+    csv->header({"round", "static_mean", "static_stddev", "moving_mean",
+                 "moving_stddev", "noadapt_mean", "noadapt_stddev"});
+  }
+  std::printf("%5s  %12s %12s  %12s %12s  %12s %12s\n", "round",
+              "static.mean", "static.sd", "moving.mean", "moving.sd",
+              "noadapt.mean", "noadapt.sd");
+  for (int round = 0; round < kRounds; ++round) {
+    std::printf("%5d  %12.6f %12.6f  %12.6f %12.6f  %12.6f %12.6f\n", round,
+                s_static.mean[round], s_static.stddev[round],
+                s_moving.mean[round], s_moving.stddev[round],
+                s_none.mean[round], s_none.stddev[round]);
+    if (csv) {
+      csv->row(round, s_static.mean[round], s_static.stddev[round],
+               s_moving.mean[round], s_moving.stddev[round],
+               s_none.mean[round], s_none.stddev[round]);
+    }
+  }
+  return 0;
+}

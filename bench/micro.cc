@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark): per-operation costs of the building
+// blocks — greedy routing, joins, adaptation planning, field integration,
+// and the wire codec.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "loadbalance/planner.h"
+#include "loadbalance/workload_index.h"
+#include "metrics/collector.h"
+#include "net/messages.h"
+#include "overlay/router.h"
+
+using namespace geogrid;
+
+namespace {
+
+core::GridSimulation make_sim(core::GridMode mode, std::size_t nodes) {
+  core::SimulationOptions opt;
+  opt.mode = mode;
+  opt.node_count = nodes;
+  opt.seed = 99;
+  return core::GridSimulation(opt);
+}
+
+void BM_RouteGreedy(benchmark::State& state) {
+  auto sim = make_sim(core::GridMode::kBasic,
+                      static_cast<std::size_t>(state.range(0)));
+  const auto& p = sim.partition();
+  std::vector<RegionId> ids;
+  for (const auto& [id, r] : p.regions()) ids.push_back(id);
+  Rng rng(5);
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const RegionId from = ids[rng.uniform_index(ids.size())];
+    const Point target{rng.uniform(0.01, 64.0), rng.uniform(0.01, 64.0)};
+    const auto route = overlay::route_greedy(p, from, target);
+    hops += route.hops;
+    benchmark::DoNotOptimize(route.executor);
+  }
+  state.counters["mean_hops"] =
+      static_cast<double>(hops) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RouteGreedy)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BasicJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sim = make_sim(core::GridMode::kBasic, 512);
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) sim.add_node();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BasicJoin);
+
+void BM_DualJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sim = make_sim(core::GridMode::kDualPeer, 512);
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) sim.add_node();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DualJoin);
+
+void BM_PlanAdaptation(benchmark::State& state) {
+  auto sim = make_sim(core::GridMode::kDualPeerAdaptive, 1000);
+  const auto load = sim.load_fn();
+  std::vector<RegionId> ids;
+  for (const auto& [id, r] : sim.partition().regions()) ids.push_back(id);
+  Rng rng(7);
+  const loadbalance::PlannerConfig config;
+  for (auto _ : state) {
+    const RegionId subject = ids[rng.uniform_index(ids.size())];
+    benchmark::DoNotOptimize(
+        loadbalance::plan_adaptation(sim.partition(), load, subject, config));
+  }
+}
+BENCHMARK(BM_PlanAdaptation);
+
+void BM_AdaptationRound(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sim = make_sim(core::GridMode::kDualPeerAdaptive,
+                        static_cast<std::size_t>(state.range(0)));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.driver().run_round().executed);
+  }
+}
+BENCHMARK(BM_AdaptationRound)->Arg(500)->Arg(2000);
+
+void BM_RegionLoad(benchmark::State& state) {
+  Rng rng(3);
+  workload::HotSpotField field({}, rng);
+  Rng probe(4);
+  for (auto _ : state) {
+    const Rect r{probe.uniform(0, 32), probe.uniform(0, 32),
+                 probe.uniform(1, 32), probe.uniform(1, 32)};
+    benchmark::DoNotOptimize(field.region_load(r));
+  }
+}
+BENCHMARK(BM_RegionLoad);
+
+void BM_FieldMigrate(benchmark::State& state) {
+  Rng rng(3);
+  workload::HotSpotField field({}, rng);
+  for (auto _ : state) {
+    field.migrate(rng);
+    benchmark::DoNotOptimize(field.total_load());
+  }
+}
+BENCHMARK(BM_FieldMigrate);
+
+void BM_EncodeDecodeSnapshotMessage(benchmark::State& state) {
+  net::LoadStatsExchange msg;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    net::RegionSnapshot s;
+    s.region = RegionId{i};
+    s.rect = Rect{0, 0, 8, 8};
+    s.primary.id = NodeId{i};
+    s.primary.capacity = 100.0;
+    s.load = 1.5;
+    msg.regions.push_back(s);
+  }
+  const net::Message m = msg;
+  for (auto _ : state) {
+    const auto bytes = net::encode_message(m);
+    benchmark::DoNotOptimize(net::decode_message(bytes));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() *
+                                net::encode_message(m).size()));
+}
+BENCHMARK(BM_EncodeDecodeSnapshotMessage);
+
+void BM_WorkloadSummary(benchmark::State& state) {
+  auto sim = make_sim(core::GridMode::kDualPeer, 2000);
+  const auto load = sim.load_fn();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::workload_summary(sim.partition(), load));
+  }
+}
+BENCHMARK(BM_WorkloadSummary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Routing-cost claim of §2.2: "routing between a pair of randomly chosen
+// regions has the overhead of O(2*sqrt(N)) in terms of the number of
+// routing hops."  This harness measures mean and p99 hops over random
+// region pairs for growing populations and reports the ratio against
+// 2*sqrt(N).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "metrics/collector.h"
+#include "overlay/router.h"
+
+using namespace geogrid;
+
+namespace {
+
+constexpr std::size_t kPopulations[] = {256, 1024, 4096, 16384};
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = bench::runs_per_point(3);
+  std::printf("Routing hops vs population (%zu runs/point)\n", runs);
+  auto csv = bench::csv_for("routing_hops");
+  if (csv) {
+    csv->header({"system", "nodes", "regions", "mean_hops", "max_hops",
+                 "two_sqrt_n", "ratio"});
+  }
+  std::printf("%-20s %7s %8s  %10s %8s  %10s %7s\n", "system", "nodes",
+              "regions", "mean_hops", "max", "2*sqrt(R)", "ratio");
+
+  for (const auto mode :
+       {core::GridMode::kBasic, core::GridMode::kDualPeer}) {
+    for (const std::size_t nodes : kPopulations) {
+      RunningStats mean_acc, max_acc, region_acc;
+      for (std::size_t run = 0; run < runs; ++run) {
+        core::SimulationOptions opt;
+        opt.mode = mode;
+        opt.node_count = nodes;
+        opt.seed = 40 + run;
+        core::GridSimulation sim(opt);
+        Rng rng(777 + run);
+        const Summary hops =
+            metrics::routing_hop_summary(sim.partition(), rng, 500);
+        mean_acc.add(hops.mean);
+        max_acc.add(hops.max);
+        region_acc.add(static_cast<double>(sim.partition().region_count()));
+      }
+      const double bound = 2.0 * std::sqrt(region_acc.mean());
+      std::printf("%-20s %7zu %8.0f  %10.2f %8.1f  %10.2f %7.3f\n",
+                  core::grid_mode_name(mode).data(), nodes,
+                  region_acc.mean(), mean_acc.mean(), max_acc.mean(), bound,
+                  mean_acc.mean() / bound);
+      if (csv) {
+        csv->row(core::grid_mode_name(mode), nodes, region_acc.mean(),
+                 mean_acc.mean(), max_acc.mean(), bound,
+                 mean_acc.mean() / bound);
+      }
+    }
+  }
+  return 0;
+}

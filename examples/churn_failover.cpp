@@ -1,0 +1,91 @@
+// Churn and fail-over: the dual-peer safety story.
+//
+// Proxies are end-user machines: they crash without warning and leave
+// without ceremony.  This example runs a protocol-mode GeoGrid through a
+// crash of a primary owner (its secondary takes over from the replica), a
+// graceful departure (seats handed over), and continuous queries proving
+// the location service stays available throughout.
+#include <cstdio>
+
+#include "core/cluster.h"
+
+using namespace geogrid;
+
+int main() {
+  core::Cluster::Options options;
+  options.node.mode = core::GridMode::kDualPeer;
+  options.seed = 404;
+  core::Cluster cluster(options);
+
+  std::printf("deploying 35 proxies...\n");
+  for (int i = 0; i < 35; ++i) cluster.spawn();
+  cluster.run_until_joined();
+  cluster.run_for(15.0);
+
+  // A subscriber watches the downtown area; its subscription is
+  // replicated to the covering region's secondary owner.
+  auto& watcher = *cluster.nodes().front();
+  int notifications = 0;
+  watcher.on_notify = [&](const net::Notify& n) {
+    ++notifications;
+    std::printf("  watcher <- %s\n", n.payload.c_str());
+  };
+  const Rect downtown{30.0, 30.0, 6.0, 6.0};
+  watcher.subscribe(downtown, "incidents", 100000.0);
+  cluster.run_for(15.0);  // replication happens on sync ticks
+
+  // Crash the primary owner of downtown.
+  core::GeoGridNode* primary = cluster.primary_covering({33, 33});
+  if (primary == nullptr) {
+    std::printf("unexpected: no unique downtown owner\n");
+    return 1;
+  }
+  std::printf("crashing downtown's primary owner (node %u)...\n",
+              primary->info().id.value);
+  primary->crash();
+  cluster.bootstrap().unregister(primary->info().id);
+
+  // Fail-over: heartbeats stop, the secondary declares the primary dead,
+  // activates the replica, and announces the takeover.
+  cluster.run_for(60.0);
+  core::GeoGridNode* successor = cluster.primary_covering({33, 33});
+  if (successor != nullptr) {
+    std::printf("fail-over complete: node %u now serves downtown "
+                "(%llu takeovers in the grid)\n",
+                successor->info().id.value,
+                static_cast<unsigned long long>(
+                    successor->counters().takeovers));
+  }
+
+  // The replicated subscription still matches publications.
+  cluster.nodes()[20]->publish({33.0, 33.0}, "incidents",
+                               "water main break on Peachtree");
+  cluster.run_for(10.0);
+  std::printf("notifications delivered after fail-over: %d\n",
+              notifications);
+
+  // A graceful departure next: seats are handed over, not recovered.
+  auto& leaver = *cluster.nodes()[12];
+  std::printf("node %u leaves gracefully...\n", leaver.info().id.value);
+  leaver.leave();
+  cluster.bootstrap().unregister(leaver.info().id);
+  cluster.run_for(30.0);
+
+  // Service check: queries across the plane still come back.
+  int results = 0;
+  watcher.on_result = [&](const net::QueryResult&) { ++results; };
+  for (double x = 8.0; x < 64.0; x += 16.0) {
+    for (double y = 8.0; y < 64.0; y += 16.0) {
+      watcher.submit_query(Rect{x - 1, y - 1, 2, 2}, "incidents");
+    }
+  }
+  cluster.run_for(15.0);
+  std::printf("post-churn query sweep: %d answers across 16 queries\n",
+              results);
+
+  // Structural soundness of the surviving overlay.
+  const auto errors = cluster.check_consistency();
+  std::printf("consistency violations: %zu\n", errors.size());
+  for (const auto& e : errors) std::printf("  %s\n", e.c_str());
+  return errors.empty() && results >= 14 ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// ASCII rendering of the partitioned plane.
+//
+// Figures 2 and 3 of the paper are visualizations of a 500-node GeoGrid:
+// region outlines with a shade proportional to the region's workload.  We
+// reproduce them as terminal art: the plane is rasterized onto a character
+// grid, region borders are drawn with box characters, and the interior shade
+// encodes the normalized per-region workload index.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace geogrid {
+
+/// One renderable region: its rectangle plus the value driving the shade.
+struct ShadedRect {
+  Rect rect;
+  double value = 0.0;  ///< shade driver (e.g. workload index), >= 0
+};
+
+/// Renders the plane as `rows` x `cols` characters. The shade ramp is
+/// " .:-=+*#%@" scaled to the maximum value across regions; borders are '|'
+/// and '-'.
+std::string render_partition(const Rect& plane,
+                             const std::vector<ShadedRect>& regions,
+                             std::size_t rows = 32, std::size_t cols = 64);
+
+/// Renders a scalar field sampled at cell centers (used to visualize the
+/// hot-spot workload field itself).
+std::string render_field(const Rect& plane,
+                         const std::function<double(Point)>& field,
+                         std::size_t rows = 32, std::size_t cols = 64);
+
+}  // namespace geogrid

@@ -1,0 +1,25 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+namespace geogrid {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  out_ = &file_;
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace geogrid

@@ -1,0 +1,93 @@
+#include "common/geometry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace geogrid {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+bool Rect::intersects(const Rect& r) const noexcept {
+  return x < r.right() - kGeoEps && r.x < right() - kGeoEps &&
+         y < r.top() - kGeoEps && r.y < top() - kGeoEps;
+}
+
+std::optional<Rect> Rect::intersection(const Rect& r) const noexcept {
+  const double ix = std::max(x, r.x);
+  const double iy = std::max(y, r.y);
+  const double ir = std::min(right(), r.right());
+  const double it = std::min(top(), r.top());
+  if (ir - ix <= kGeoEps || it - iy <= kGeoEps) return std::nullopt;
+  return Rect{ix, iy, ir - ix, it - iy};
+}
+
+bool Rect::edge_adjacent(const Rect& r) const noexcept {
+  // Vertical shared edge: one rectangle's east side meets the other's west
+  // side, and the y-extents overlap in a segment of positive length.
+  const double y_overlap = std::min(top(), r.top()) - std::max(y, r.y);
+  if ((almost_equal(right(), r.x) || almost_equal(r.right(), x)) &&
+      y_overlap > kGeoEps) {
+    return true;
+  }
+  // Horizontal shared edge.
+  const double x_overlap = std::min(right(), r.right()) - std::max(x, r.x);
+  if ((almost_equal(top(), r.y) || almost_equal(r.top(), y)) &&
+      x_overlap > kGeoEps) {
+    return true;
+  }
+  return false;
+}
+
+std::pair<Rect, Rect> Rect::split(Axis axis) const noexcept {
+  if (axis == Axis::kX) {
+    const double half = width / 2.0;
+    return {Rect{x, y, half, height}, Rect{x + half, y, width - half, height}};
+  }
+  const double half = height / 2.0;
+  return {Rect{x, y, width, half}, Rect{x, y + half, width, height - half}};
+}
+
+bool Rect::mergeable(const Rect& r) const noexcept {
+  const bool same_x =
+      almost_equal(x, r.x) && almost_equal(width, r.width);
+  const bool same_y =
+      almost_equal(y, r.y) && almost_equal(height, r.height);
+  if (same_x) {
+    return almost_equal(top(), r.y) || almost_equal(r.top(), y);
+  }
+  if (same_y) {
+    return almost_equal(right(), r.x) || almost_equal(r.right(), x);
+  }
+  return false;
+}
+
+Rect Rect::merged(const Rect& r) const noexcept {
+  const double mx = std::min(x, r.x);
+  const double my = std::min(y, r.y);
+  return Rect{mx, my, std::max(right(), r.right()) - mx,
+              std::max(top(), r.top()) - my};
+}
+
+double Rect::distance_to(const Point& p) const noexcept {
+  const double dx = std::max({x - p.x, 0.0, p.x - right()});
+  const double dy = std::max({y - p.y, 0.0, p.y - top()});
+  return std::hypot(dx, dy);
+}
+
+Point Rect::clamp(const Point& p) const noexcept {
+  return Point{std::clamp(p.x, x, right()), std::clamp(p.y, y, top())};
+}
+
+std::string Rect::to_string() const {
+  std::ostringstream os;
+  os << '<' << x << ", " << y << ", " << width << ", " << height << '>';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << r.to_string();
+}
+
+}  // namespace geogrid

@@ -1,0 +1,51 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace geogrid {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / bin_width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  assert(bin < counts_.size());
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  char label[64];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(label, sizeof(label), "[%9.4f, %9.4f) %7zu ",
+                  bin_lower(b), bin_lower(b) + bin_width_, counts_[b]);
+    os << label;
+    const std::size_t len =
+        peak == 0 ? 0 : counts_[b] * bar_width / peak;
+    os << std::string(len, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace geogrid

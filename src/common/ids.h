@@ -1,0 +1,58 @@
+// Strongly typed identifiers.
+//
+// NodeId identifies a GeoGrid participant for the lifetime of a simulation;
+// it doubles as the simulated network address (the paper's <IP, port> pair).
+// RegionId identifies a region of the space partition; regions survive
+// ownership changes, so the id is stable across the load-balance adaptations
+// that re-assign owners.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace geogrid {
+
+namespace detail {
+
+/// CRTP-free tagged integer id: comparable, hashable, printable.
+template <typename Tag>
+struct TaggedId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr bool valid() const noexcept { return value != kInvalid; }
+
+  friend constexpr bool operator==(TaggedId, TaggedId) = default;
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    if (!id.valid()) return os << Tag::prefix() << "<invalid>";
+    return os << Tag::prefix() << id.value;
+  }
+};
+
+}  // namespace detail
+
+struct NodeTag {
+  static constexpr const char* prefix() { return "n"; }
+};
+struct RegionTag {
+  static constexpr const char* prefix() { return "r"; }
+};
+
+using NodeId = detail::TaggedId<NodeTag>;
+using RegionId = detail::TaggedId<RegionTag>;
+
+inline constexpr NodeId kInvalidNode{};
+inline constexpr RegionId kInvalidRegion{};
+
+}  // namespace geogrid
+
+template <typename Tag>
+struct std::hash<geogrid::detail::TaggedId<Tag>> {
+  std::size_t operator()(geogrid::detail::TaggedId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,63 @@
+// Streaming summary statistics.
+//
+// The GeoGrid evaluation reports the max, mean, and standard deviation of
+// the per-node workload index, averaged over many randomly generated
+// networks.  RunningStats accumulates those moments in a single pass with
+// Welford's numerically stable update; Summary is the frozen result.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace geogrid {
+
+/// Frozen snapshot of a statistic accumulation.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Single-pass accumulator for count/mean/stddev/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel/Chan update).
+  void merge(const RunningStats& other) noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  /// Population variance (divides by n).
+  double variance() const noexcept { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  Summary summary() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Convenience: summary of a value sequence.
+Summary summarize(std::span<const double> values) noexcept;
+
+/// p-th percentile (0..100) by linear interpolation; values need not be
+/// sorted (a sorted copy is made).
+double percentile(std::vector<double> values, double p) noexcept;
+
+}  // namespace geogrid

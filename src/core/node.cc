@@ -1,0 +1,637 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "dualpeer/join_policy.h"
+#include "loadbalance/snapshot_planner.h"
+#include "core/node_internal.h"
+#include "overlay/router.h"
+
+namespace geogrid::core {
+
+using net::Message;
+using net::NodeInfo;
+using net::OwnerRole;
+using net::RegionSnapshot;
+
+namespace detail {
+
+std::string encode_subscriptions(const std::vector<StoredSubscription>& subs) {
+  net::Writer w;
+  w.varint(subs.size());
+  for (const auto& s : subs) {
+    s.sub.encode(w);
+    w.f64(s.expires);
+  }
+  const auto bytes = std::move(w).take();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+std::vector<StoredSubscription> decode_subscriptions(const std::string& blob) {
+  net::Reader r(reinterpret_cast<const std::byte*>(blob.data()), blob.size());
+  const auto n = r.varint();
+  std::vector<StoredSubscription> subs;
+  subs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    StoredSubscription s;
+    s.sub = net::Subscribe::decode(r);
+    s.expires = r.f64();
+    subs.push_back(std::move(s));
+  }
+  return subs;
+}
+
+}  // namespace detail
+
+GeoGridNode::GeoGridNode(sim::Network& network, NodeId bootstrap_address,
+                         NodeInfo self, Config config, Rng rng)
+    : network_(network), loop_(network.loop()), bootstrap_(bootstrap_address),
+      self_(self), config_(config), rng_(rng) {}
+
+void GeoGridNode::start() {
+  assert(!started_);
+  started_ = true;
+  network_.attach(self_.id, *this, self_.coord);
+  network_.send(self_.id, bootstrap_, net::BootstrapRegister{self_});
+  begin_join();
+  schedule_timers();
+}
+
+void GeoGridNode::begin_join() {
+  if (joined_ || leaving_) return;
+  ++join_attempts_;
+  network_.send(self_.id, bootstrap_, net::BootstrapEntryRequest{self_});
+  // Retry until a grant lands (entry node may have died, probes may race).
+  loop_.schedule_after(config_.join_retry, [this] {
+    if (!joined_ && !leaving_ && join_attempts_ < 25) begin_join();
+  });
+}
+
+void GeoGridNode::handle_entry_reply(const net::BootstrapEntryReply& m) {
+  if (joined_) return;
+  if (!m.entry) {
+    found_grid();
+    return;
+  }
+  // Route a join request toward our own coordinate via the entry node.
+  network_.send(self_.id, m.entry->id,
+                net::make_routed(self_.coord, net::JoinRequest{self_}));
+}
+
+void GeoGridNode::found_grid() {
+  OwnedRegion root;
+  root.id = RegionId{(self_.id.value << 12) | (next_local_region_++ & 0xfff)};
+  root.rect = config_.plane;
+  root.split_depth = 0;
+  root.role = OwnerRole::kPrimary;
+  owned_[root.id] = std::move(root);
+  joined_ = true;
+  GEOGRID_DEBUG("node " << self_.id << " founded the grid");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and notifications.
+// ---------------------------------------------------------------------------
+
+RegionSnapshot GeoGridNode::snapshot_of(const OwnedRegion& region) const {
+  RegionSnapshot s;
+  s.region = region.id;
+  s.rect = region.rect;
+  s.split_depth = region.split_depth;
+  if (region.is_primary()) {
+    s.primary = self_;
+    s.secondary = region.peer;
+  } else {
+    assert(region.peer.has_value());
+    s.primary = *region.peer;
+    s.secondary = self_;
+  }
+  s.load = region.load;
+  s.workload_index =
+      s.primary.capacity > 0.0 ? s.load / s.primary.capacity : s.load;
+  return s;
+}
+
+void GeoGridNode::send_to_region_primary(const RegionSnapshot& target,
+                                         Message msg) {
+  network_.send(self_.id, target.primary.id, std::move(msg));
+}
+
+void GeoGridNode::broadcast_neighbor_update(const OwnedRegion& region) {
+  const RegionSnapshot snap = snapshot_of(region);
+  for (const auto& [rid, nb] : region.neighbors) {
+    network_.send(self_.id, nb.primary.id, net::NeighborUpdate{snap});
+    if (nb.secondary) {
+      network_.send(self_.id, nb.secondary->id, net::NeighborUpdate{snap});
+    }
+  }
+  if (region.peer) {
+    network_.send(self_.id, region.peer->id, net::NeighborUpdate{snap});
+  }
+}
+
+void GeoGridNode::prune_neighbors(OwnedRegion& region) {
+  std::erase_if(region.neighbors, [&](const auto& entry) {
+    return entry.first == region.id ||
+           !entry.second.rect.edge_adjacent(region.rect);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Join handling (owner side).
+// ---------------------------------------------------------------------------
+
+void GeoGridNode::handle_join_request(NodeId /*from*/,
+                                      const net::JoinRequest& m) {
+  OwnedRegion* covering = covering_region(m.joiner.coord);
+  if (covering == nullptr || !covering->is_primary()) {
+    network_.send(self_.id, m.joiner.id,
+                  net::JoinReject{"not the covering primary"});
+    return;
+  }
+  if (config_.mode == GridMode::kBasic) {
+    basic_split_for(m.joiner, covering->id);
+    return;
+  }
+  // Dual-peer: the joiner probes the covering region and its neighborhood.
+  net::JoinProbeReply reply;
+  reply.covering = snapshot_of(*covering);
+  reply.neighbors.reserve(covering->neighbors.size());
+  for (const auto& [rid, snap] : covering->neighbors) {
+    reply.neighbors.push_back(snap);
+  }
+  network_.send(self_.id, m.joiner.id, reply);
+}
+
+void GeoGridNode::basic_split_for(const NodeInfo& joiner, RegionId region_id) {
+  auto it = owned_.find(region_id);
+  assert(it != owned_.end());
+  OwnedRegion& region = it->second;
+
+  const Axis axis = overlay::split_axis_for_depth(region.split_depth);
+  const auto [low, high] = region.rect.split(axis);
+  const bool owner_in_low = low.covers_inclusive(self_.coord);
+  const bool joiner_in_low = low.covers_inclusive(joiner.coord);
+  const bool joiner_gets_high =
+      (owner_in_low != joiner_in_low) ? !joiner_in_low : owner_in_low;
+
+  // Shrink our region; the joiner founds the other half.
+  const std::map<RegionId, RegionSnapshot> old_neighbors = region.neighbors;
+  region.rect = joiner_gets_high ? low : high;
+  region.split_depth += 1;
+  region.load *= 0.5;  // refreshed by the next stats round
+
+  RegionSnapshot fresh;
+  fresh.region =
+      RegionId{(self_.id.value << 12) | (next_local_region_++ & 0xfff)};
+  fresh.rect = joiner_gets_high ? high : low;
+  fresh.split_depth = region.split_depth;
+  fresh.primary = joiner;
+  fresh.load = region.load;
+  fresh.workload_index =
+      joiner.capacity > 0.0 ? fresh.load / joiner.capacity : fresh.load;
+
+  prune_neighbors(region);
+  region.neighbors[fresh.region] = fresh;
+
+  net::JoinGrant grant;
+  grant.region_state = fresh;
+  grant.role = OwnerRole::kPrimary;
+  for (const auto& [rid, snap] : old_neighbors) {
+    if (snap.rect.edge_adjacent(fresh.rect)) grant.neighbors.push_back(snap);
+  }
+  grant.neighbors.push_back(snapshot_of(region));
+  network_.send(self_.id, joiner.id, grant);
+
+  // Tell the old neighborhood about both halves.
+  const RegionSnapshot mine = snapshot_of(region);
+  for (const auto& [rid, snap] : old_neighbors) {
+    network_.send(self_.id, snap.primary.id, net::NeighborUpdate{mine});
+    network_.send(self_.id, snap.primary.id, net::NeighborUpdate{fresh});
+  }
+}
+
+void GeoGridNode::handle_probe_reply(const net::JoinProbeReply& m) {
+  if (joined_) return;
+  const dualpeer::JoinDecision decision =
+      dualpeer::select_join_target(m.covering, m.neighbors);
+
+  const auto snapshot_for = [&](RegionId rid) -> const RegionSnapshot* {
+    if (m.covering.region == rid) return &m.covering;
+    for (const auto& s : m.neighbors) {
+      if (s.region == rid) return &s;
+    }
+    return nullptr;
+  };
+  const RegionSnapshot* target = snapshot_for(decision.region);
+  assert(target != nullptr);
+
+  if (decision.action == dualpeer::JoinDecision::Action::kFillSecondary) {
+    network_.send(self_.id, target->primary.id,
+                  net::SecondaryJoinRequest{self_, decision.region});
+  } else {
+    network_.send(self_.id, target->primary.id,
+                  net::SplitJoinRequest{self_, decision.region});
+  }
+}
+
+void GeoGridNode::handle_secondary_join(NodeId /*from*/,
+                                        const net::SecondaryJoinRequest& m) {
+  auto it = owned_.find(m.region);
+  // A region mid-adaptation is about to change hands: bounce the joiner.
+  if (pending_.active || it == owned_.end() || !it->second.is_primary() ||
+      it->second.full()) {
+    network_.send(self_.id, m.joiner.id,
+                  net::JoinReject{"region changed, retry"});
+    return;
+  }
+  OwnedRegion& region = it->second;
+  GEOGRID_DEBUG("node " << self_.id << " seats secondary " << m.joiner.id
+                        << " in " << m.region << " rect "
+                        << region.rect.to_string());
+  region.peer = m.joiner;
+  peer_last_heard_[m.region] = loop_.now();
+  OwnerRole joiner_role = OwnerRole::kSecondary;
+  if (dualpeer::joiner_takes_primary(m.joiner.capacity, self_.capacity)) {
+    // The stronger joiner takes over the primary role once it has copied
+    // our state (immediate in simulation).
+    region.role = OwnerRole::kSecondary;
+    joiner_role = OwnerRole::kPrimary;
+  }
+
+  net::JoinGrant grant;
+  grant.region_state = snapshot_of(region);
+  grant.role = joiner_role;
+  for (const auto& [rid, snap] : region.neighbors) {
+    grant.neighbors.push_back(snap);
+  }
+  network_.send(self_.id, m.joiner.id, grant);
+  sync_peer(region);
+  broadcast_neighbor_update(region);
+}
+
+void GeoGridNode::handle_split_join(NodeId /*from*/,
+                                    const net::SplitJoinRequest& m) {
+  auto it = owned_.find(m.region);
+  if (pending_.active || it == owned_.end() || !it->second.is_primary() ||
+      !it->second.full()) {
+    network_.send(self_.id, m.joiner.id,
+                  net::JoinReject{"region changed, retry"});
+    return;
+  }
+  OwnedRegion& region = it->second;
+  GEOGRID_DEBUG("node " << self_.id << " split-join " << m.region
+                        << " rect " << region.rect.to_string()
+                        << " joiner " << m.joiner.id);
+  const NodeInfo departing_secondary = *region.peer;
+
+  const Axis axis = overlay::split_axis_for_depth(region.split_depth);
+  const auto [low, high] = region.rect.split(axis);
+  const bool keep_low = low.covers_inclusive(self_.coord);
+  const Rect my_half = keep_low ? low : high;
+  const Rect other_half = keep_low ? high : low;
+
+  const std::map<RegionId, RegionSnapshot> old_neighbors = region.neighbors;
+  region.rect = my_half;
+  region.split_depth += 1;
+  region.load *= 0.5;
+  region.peer.reset();
+
+  // The old secondary founds the other half (half-full).
+  RegionSnapshot fresh;
+  fresh.region =
+      RegionId{(self_.id.value << 12) | (next_local_region_++ & 0xfff)};
+  fresh.rect = other_half;
+  fresh.split_depth = region.split_depth;
+  fresh.primary = departing_secondary;
+  fresh.load = region.load;
+  fresh.workload_index = fresh.primary.capacity > 0.0
+                             ? fresh.load / fresh.primary.capacity
+                             : fresh.load;
+
+  // The joiner fills the half whose owner has less available capacity.
+  const RegionSnapshot mine_snap_pre = snapshot_of(region);
+  const bool joiner_with_me =
+      dualpeer::pick_half_to_join(mine_snap_pre, fresh) == region.id;
+
+  OwnerRole joiner_role = OwnerRole::kSecondary;
+  if (joiner_with_me) {
+    region.peer = m.joiner;
+    peer_last_heard_[m.region] = loop_.now();
+    if (dualpeer::joiner_takes_primary(m.joiner.capacity, self_.capacity)) {
+      region.role = OwnerRole::kSecondary;
+      joiner_role = OwnerRole::kPrimary;
+    }
+  } else {
+    if (dualpeer::joiner_takes_primary(m.joiner.capacity,
+                                       departing_secondary.capacity)) {
+      fresh.secondary = departing_secondary;
+      fresh.primary = m.joiner;
+      fresh.workload_index = m.joiner.capacity > 0.0
+                                 ? fresh.load / m.joiner.capacity
+                                 : fresh.load;
+      joiner_role = OwnerRole::kPrimary;
+    } else {
+      fresh.secondary = m.joiner;
+    }
+  }
+
+  prune_neighbors(region);
+  region.neighbors[fresh.region] = fresh;
+
+  std::vector<RegionSnapshot> fresh_neighbors;
+  for (const auto& [rid, snap] : old_neighbors) {
+    if (snap.rect.edge_adjacent(fresh.rect)) fresh_neighbors.push_back(snap);
+  }
+  fresh_neighbors.push_back(snapshot_of(region));
+
+  // Hand the new half to the old secondary (dropping its seat here).
+  net::RegionHandoff handoff;
+  handoff.region_state = fresh;
+  handoff.neighbors = fresh_neighbors;
+  handoff.vacate = region.id;
+  network_.send(self_.id, departing_secondary.id, handoff);
+
+  // Grant the joiner its seat.
+  net::JoinGrant grant;
+  grant.role = joiner_role;
+  if (joiner_with_me) {
+    grant.region_state = snapshot_of(region);
+    for (const auto& [rid, snap] : region.neighbors) {
+      grant.neighbors.push_back(snap);
+    }
+  } else {
+    grant.region_state = fresh;
+    grant.neighbors = fresh_neighbors;
+  }
+  network_.send(self_.id, m.joiner.id, grant);
+
+  // Tell the old neighborhood about both halves.
+  const RegionSnapshot mine = snapshot_of(region);
+  for (const auto& [rid, snap] : old_neighbors) {
+    network_.send(self_.id, snap.primary.id, net::NeighborUpdate{mine});
+    network_.send(self_.id, snap.primary.id, net::NeighborUpdate{fresh});
+  }
+  if (joiner_with_me) sync_peer(region);
+}
+
+void GeoGridNode::handle_join_grant(const net::JoinGrant& m) {
+  if (joined_) return;
+  OwnedRegion region;
+  region.id = m.region_state.region;
+  region.rect = m.region_state.rect;
+  region.split_depth = m.region_state.split_depth;
+  region.role = m.role;
+  region.load = m.region_state.load;
+  if (m.role == OwnerRole::kPrimary) {
+    region.peer = m.region_state.secondary;
+    // The grantor may have recorded us as primary already.
+    if (region.peer && region.peer->id == self_.id) {
+      region.peer = m.region_state.primary.id == self_.id
+                        ? std::nullopt
+                        : std::optional<NodeInfo>(m.region_state.primary);
+    }
+  } else {
+    region.peer = m.region_state.primary;
+  }
+  for (const auto& snap : m.neighbors) {
+    if (snap.region != region.id &&
+        snap.rect.edge_adjacent(region.rect)) {
+      region.neighbors[snap.region] = snap;
+    }
+  }
+  const RegionId rid = region.id;
+  GEOGRID_DEBUG("node " << self_.id << " grant-adopts " << rid << " rect "
+                        << region.rect.to_string() << " role "
+                        << (region.role == OwnerRole::kPrimary ? "P" : "S"));
+  owned_[rid] = std::move(region);
+  joined_ = true;
+  peer_last_heard_[rid] = loop_.now();
+  for (const auto& [nid, nb] : owned_[rid].neighbors) {
+    neighbor_last_heard_[nid] = loop_.now();
+  }
+  broadcast_neighbor_update(owned_[rid]);
+  GEOGRID_DEBUG("node " << self_.id << " joined region " << rid);
+}
+
+// ---------------------------------------------------------------------------
+// Routing.
+// ---------------------------------------------------------------------------
+
+OwnedRegion* GeoGridNode::covering_region(const Point& p) {
+  for (auto& [rid, region] : owned_) {
+    if (region.rect.covers(p) || region.rect.covers_inclusive(p)) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+void GeoGridNode::route_or_handle(net::Routed env) {
+  if (covering_region(env.target) != nullptr) {
+    handle_routed_payload(self_.id, env);
+    return;
+  }
+  if (env.hops >= config_.max_route_hops) {
+    // Expected for probes aimed at orphaned space (nobody covers the
+    // target, so the envelope bounces between the nearest regions until
+    // the hop budget runs out) — by design, not an error.
+    GEOGRID_DEBUG("dropping routed message at hop limit, target "
+                  << env.target);
+    return;
+  }
+  // Candidates: every neighbor snapshot across our regions.
+  std::vector<overlay::HopCandidate> candidates;
+  std::vector<const RegionSnapshot*> snaps;
+  for (const auto& [rid, region] : owned_) {
+    for (const auto& [nid, snap] : region.neighbors) {
+      if (owned_.contains(nid)) continue;
+      candidates.push_back(overlay::HopCandidate{nid, snap.rect});
+      snaps.push_back(&snap);
+    }
+  }
+  const auto next = overlay::greedy_next(candidates, env.target);
+  if (!next) {
+    // Transient while neighbor tables converge after a join or repair; the
+    // sender retries (joins re-bootstrap, queries are re-issued by apps).
+    GEOGRID_DEBUG("node " << self_.id << " has no route toward "
+                          << env.target);
+    return;
+  }
+  const RegionSnapshot* chosen = nullptr;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].region == *next) {
+      chosen = snaps[i];
+      break;
+    }
+  }
+  env.hops += 1;
+  ++counters_.routed_forwarded;
+  network_.send(self_.id, chosen->primary.id, std::move(env));
+}
+
+void GeoGridNode::handle_routed_payload(NodeId from, const net::Routed& env) {
+  const Message inner = net::unwrap_routed(env);
+  if (const auto* join = std::get_if<net::JoinRequest>(&inner)) {
+    handle_join_request(from, *join);
+  } else if (const auto* query = std::get_if<net::LocationQuery>(&inner)) {
+    handle_location_query(*query);
+  } else if (const auto* sub = std::get_if<net::Subscribe>(&inner)) {
+    handle_subscribe(*sub);
+  } else if (const auto* pub = std::get_if<net::Publish>(&inner)) {
+    handle_publish(*pub);
+  } else if (const auto* probe = std::get_if<net::OwnerProbe>(&inner)) {
+    handle_owner_probe(*probe);
+  } else {
+    GEOGRID_WARN("unexpected routed payload "
+                 << net::message_name(net::message_type(inner)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Application layer.
+// ---------------------------------------------------------------------------
+
+std::uint64_t GeoGridNode::submit_query(const Rect& area,
+                                        const std::string& filter) {
+  net::LocationQuery q;
+  q.query_id = (static_cast<std::uint64_t>(self_.id.value) << 32) |
+               ++next_request_id_;
+  q.focal = self_;
+  q.area = area;
+  q.filter = filter;
+  ++counters_.queries_submitted;
+  route_or_handle(net::make_routed(area.center(), q));
+  return q.query_id;
+}
+
+std::uint64_t GeoGridNode::subscribe(const Rect& area,
+                                     const std::string& filter,
+                                     double duration) {
+  net::Subscribe s;
+  s.sub_id = (static_cast<std::uint64_t>(self_.id.value) << 32) |
+             ++next_request_id_;
+  s.subscriber = self_;
+  s.area = area;
+  s.filter = filter;
+  s.duration = duration;
+  route_or_handle(net::make_routed(area.center(), s));
+  return s.sub_id;
+}
+
+void GeoGridNode::publish(const Point& location, const std::string& topic,
+                          const std::string& payload) {
+  net::Publish p;
+  p.location = location;
+  p.topic = topic;
+  p.payload = payload;
+  route_or_handle(net::make_routed(location, p));
+}
+
+void GeoGridNode::execute_query(const net::LocationQuery& q,
+                                OwnedRegion& region) {
+  ++counters_.queries_executed;
+  net::QueryResult result;
+  result.query_id = q.query_id;
+  result.from_region = region.id;
+  result.payload = "region " + region.rect.to_string();
+  network_.send(self_.id, q.focal.id, result);
+}
+
+void GeoGridNode::handle_location_query(const net::LocationQuery& q) {
+  OwnedRegion* covering = covering_region(q.area.center());
+  if (covering == nullptr) {
+    // Disseminated copy for a region we own that overlaps the query area.
+    for (auto& [rid, region] : owned_) {
+      if (region.is_primary() && region.rect.intersects(q.area)) {
+        execute_query(q, region);
+        return;
+      }
+    }
+    return;
+  }
+  execute_query(q, *covering);
+  if (q.disseminated) return;
+  // Fan out to every neighbor region overlapping the query area.
+  net::LocationQuery fanned = q;
+  fanned.disseminated = true;
+  for (const auto& [rid, snap] : covering->neighbors) {
+    if (snap.rect.intersects(q.area)) {
+      ++counters_.queries_disseminated;
+      network_.send(self_.id, snap.primary.id, fanned);
+    }
+  }
+}
+
+void GeoGridNode::store_subscription(const net::Subscribe& s,
+                                     OwnedRegion& region) {
+  StoredSubscription stored;
+  stored.sub = s;
+  stored.expires = loop_.now() + s.duration;
+  region.subscriptions.push_back(std::move(stored));
+  region.app_version += 1;
+  network_.send(self_.id, s.subscriber.id,
+                net::SubscribeAck{s.sub_id, region.id});
+  sync_peer(region);
+}
+
+void GeoGridNode::handle_subscribe(const net::Subscribe& s) {
+  OwnedRegion* covering = covering_region(s.area.center());
+  if (covering == nullptr) {
+    for (auto& [rid, region] : owned_) {
+      if (region.is_primary() && region.rect.intersects(s.area)) {
+        store_subscription(s, region);
+        return;
+      }
+    }
+    return;
+  }
+  store_subscription(s, *covering);
+  if (s.disseminated) return;
+  net::Subscribe fanned = s;
+  fanned.disseminated = true;
+  for (const auto& [rid, snap] : covering->neighbors) {
+    if (snap.rect.intersects(s.area)) {
+      network_.send(self_.id, snap.primary.id, fanned);
+    }
+  }
+}
+
+void GeoGridNode::handle_publish(const net::Publish& p) {
+  OwnedRegion* covering = covering_region(p.location);
+  if (covering == nullptr) return;
+  ++counters_.publishes_handled;
+  const sim::Time now = loop_.now();
+  // Lazily drop expired subscriptions, then match the rest.
+  std::erase_if(covering->subscriptions, [now](const StoredSubscription& s) {
+    return s.expires <= now;
+  });
+  for (const auto& stored : covering->subscriptions) {
+    const net::Subscribe& sub = stored.sub;
+    const bool in_area = sub.area.covers(p.location) ||
+                         sub.area.covers_inclusive(p.location);
+    const bool topic_ok = sub.filter.empty() || sub.filter == p.topic;
+    if (in_area && topic_ok) {
+      network_.send(self_.id, sub.subscriber.id,
+                    net::Notify{sub.sub_id, p.topic, p.payload});
+    }
+  }
+}
+
+void GeoGridNode::set_region_load(RegionId region, double load) {
+  auto it = owned_.find(region);
+  if (it != owned_.end()) it->second.load = load;
+}
+
+double GeoGridNode::workload_index() const {
+  double load = 0.0;
+  for (const auto& [rid, region] : owned_) {
+    if (region.is_primary()) load += region.load;
+  }
+  return self_.capacity > 0.0 ? load / self_.capacity : load;
+}
+
+}  // namespace geogrid::core

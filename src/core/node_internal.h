@@ -1,0 +1,17 @@
+// Shared helpers between the two GeoGridNode translation units.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+
+namespace geogrid::core::detail {
+
+/// Serializes a subscription list for primary -> secondary replication.
+std::string encode_subscriptions(const std::vector<StoredSubscription>& subs);
+
+/// Inverse of encode_subscriptions.
+std::vector<StoredSubscription> decode_subscriptions(const std::string& blob);
+
+}  // namespace geogrid::core::detail

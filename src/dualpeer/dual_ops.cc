@@ -1,0 +1,93 @@
+#include "dualpeer/dual_ops.h"
+
+#include <cassert>
+
+#include "dualpeer/join_policy.h"
+#include "overlay/router.h"
+
+namespace geogrid::dualpeer {
+
+using overlay::JoinResult;
+using overlay::LoadFn;
+using overlay::Partition;
+
+JoinResult dual_join(Partition& partition, const net::NodeInfo& joiner,
+                     const LoadFn& load_of, RegionId entry_region) {
+  if (!partition.has_node(joiner.id)) partition.add_node(joiner);
+  JoinResult result;
+
+  if (partition.region_count() == 0) {
+    result.region = partition.create_root(joiner.id);
+    return result;
+  }
+
+  const RegionId entry =
+      entry_region.valid() && partition.has_region(entry_region)
+          ? entry_region
+          : partition.regions().begin()->first;
+  const overlay::RouteResult route =
+      overlay::route_greedy(partition, entry, joiner.coord);
+  assert(route.reached);
+  result.routing_hops = route.hops;
+  const RegionId covering = route.executor;
+
+  const auto covering_snap =
+      overlay::make_snapshot(partition, covering, load_of);
+  const auto neighbor_snaps =
+      overlay::neighbor_snapshots(partition, covering, load_of);
+  const JoinDecision decision =
+      select_join_target(covering_snap, neighbor_snaps);
+
+  RegionId seat = decision.region;
+  if (decision.action == JoinDecision::Action::kSplit) {
+    // The probed region is full: its secondary becomes primary of the new
+    // half, leaving two half-full regions; the joiner fills the weaker one.
+    const overlay::Region& victim = partition.region(decision.region);
+    assert(victim.full());
+    const NodeId secondary = *victim.secondary;
+    partition.clear_secondary(decision.region);
+    const RegionId new_half = partition.split(decision.region, secondary);
+    const auto low_snap =
+        overlay::make_snapshot(partition, decision.region, load_of);
+    const auto high_snap =
+        overlay::make_snapshot(partition, new_half, load_of);
+    seat = pick_half_to_join(low_snap, high_snap);
+  }
+
+  partition.set_secondary(seat, joiner.id);
+  const double incumbent = partition.node(partition.region(seat).primary).capacity;
+  if (joiner_takes_primary(joiner.capacity, incumbent)) {
+    partition.swap_roles(seat);
+  }
+  result.region = seat;
+  return result;
+}
+
+namespace {
+
+void vacate_all_seats(Partition& partition, NodeId node) {
+  // Secondary seats first: vacating them never orphans a region.
+  const std::vector<RegionId> secondaries = partition.secondary_regions(node);
+  for (RegionId rid : secondaries) partition.clear_secondary(rid);
+
+  const std::vector<RegionId> owned = partition.primary_regions(node);
+  for (RegionId rid : owned) {
+    if (!partition.has_region(rid)) continue;  // merged away by repair
+    // repair_region activates the secondary when present, otherwise merges
+    // or hands the rectangle to a caretaker.
+    overlay::repair_region(partition, rid, node);
+  }
+  partition.remove_node(node);
+}
+
+}  // namespace
+
+void dual_leave(Partition& partition, NodeId node) {
+  vacate_all_seats(partition, node);
+}
+
+void dual_fail(Partition& partition, NodeId node) {
+  vacate_all_seats(partition, node);
+}
+
+}  // namespace geogrid::dualpeer

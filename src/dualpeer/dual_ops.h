@@ -1,0 +1,36 @@
+// Dual-peer membership operations (engine mode).
+//
+// Implements §2.3's revised join, departure, and failure-recovery over the
+// Partition mechanics, using the pure join policy so protocol mode behaves
+// identically.  Load numbers come through LoadFn (the hot-spot field in the
+// experiments).
+#pragma once
+
+#include "common/ids.h"
+#include "net/node_info.h"
+#include "overlay/basic_ops.h"
+#include "overlay/partition.h"
+#include "overlay/snapshot.h"
+
+namespace geogrid::dualpeer {
+
+/// Dual-peer join: routes to the covering region, probes it and its
+/// neighbors, fills the weakest half-full region as secondary (taking the
+/// primary role when stronger), or splits the weakest full region when all
+/// probed regions are full.
+overlay::JoinResult dual_join(overlay::Partition& partition,
+                              const net::NodeInfo& joiner,
+                              const overlay::LoadFn& load_of,
+                              RegionId entry_region = kInvalidRegion);
+
+/// Graceful departure.  Secondary seats are simply vacated ("half full");
+/// a departing primary activates its secondary; a last owner triggers the
+/// basic repair process.
+void dual_leave(overlay::Partition& partition, NodeId node);
+
+/// Crash failure.  Structurally identical to departure in engine mode (the
+/// secondary takes over from its replica); kept separate so harnesses can
+/// account fail-overs and data loss distinctly.
+void dual_fail(overlay::Partition& partition, NodeId node);
+
+}  // namespace geogrid::dualpeer

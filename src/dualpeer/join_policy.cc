@@ -1,0 +1,65 @@
+#include "dualpeer/join_policy.h"
+
+#include <vector>
+
+#include "overlay/region.h"
+
+namespace geogrid::dualpeer {
+
+bool join_candidate_less(const net::RegionSnapshot& a,
+                         const net::RegionSnapshot& b) {
+  const double avail_a = a.primary_available();
+  const double avail_b = b.primary_available();
+  if (avail_a != avail_b) return avail_a < avail_b;
+  if (a.workload_index != b.workload_index) {
+    return a.workload_index > b.workload_index;
+  }
+  // Remaining ties (typical when every candidate is idle) prefer the larger
+  // region: it will absorb more future load, and repeatedly splitting one
+  // arbitrary small region would degenerate it into a sliver.
+  if (a.rect.area() != b.rect.area()) return a.rect.area() > b.rect.area();
+  return a.region < b.region;
+}
+
+JoinDecision select_join_target(
+    const net::RegionSnapshot& covering,
+    std::span<const net::RegionSnapshot> neighbors) {
+  const net::RegionSnapshot* best_open = nullptr;
+  const net::RegionSnapshot* best_split = nullptr;
+  const net::RegionSnapshot* best_any = nullptr;
+  const auto consider = [&](const net::RegionSnapshot& s) {
+    if (!s.full() && (!best_open || join_candidate_less(s, *best_open))) {
+      best_open = &s;
+    }
+    if (overlay::splittable(s.rect) &&
+        (!best_split || join_candidate_less(s, *best_split))) {
+      best_split = &s;
+    }
+    if (!best_any || join_candidate_less(s, *best_any)) best_any = &s;
+  };
+  consider(covering);
+  for (const auto& s : neighbors) consider(s);
+
+  if (best_open != nullptr) {
+    return JoinDecision{JoinDecision::Action::kFillSecondary,
+                        best_open->region};
+  }
+  // All probed regions are full: split the weakest one that is still large
+  // enough to split (always available in practice; the covering region of
+  // a uniformly random coordinate is essentially never a minimum-size
+  // sliver).
+  return JoinDecision{JoinDecision::Action::kSplit,
+                      (best_split ? best_split : best_any)->region};
+}
+
+bool joiner_takes_primary(double joiner_capacity, double incumbent_capacity) {
+  return joiner_capacity > incumbent_capacity;
+}
+
+RegionId pick_half_to_join(const net::RegionSnapshot& low_half,
+                           const net::RegionSnapshot& high_half) {
+  return join_candidate_less(low_half, high_half) ? low_half.region
+                                                  : high_half.region;
+}
+
+}  // namespace geogrid::dualpeer

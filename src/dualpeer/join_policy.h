@@ -1,0 +1,54 @@
+// Dual-peer join target selection (pure policy).
+//
+// §2.3 of the paper: a joining node does not split the covering region
+// outright.  It probes the covering region r and its neighbors and chooses,
+// from r.neighbors ∪ r, a region that is not complete in terms of dual peer
+// and whose owner has the least available capacity; it joins that region as
+// secondary owner.  If every probed region already has a dual peer, it
+// splits the one whose primary has the least available capacity, and joins
+// the resulting half whose owner has less available capacity.  A joiner
+// stronger than the incumbent owner takes over the primary role (after
+// state copy).
+//
+// These functions are pure over RegionSnapshots, so the engine-mode driver
+// and the protocol-mode node make byte-identical decisions.
+#pragma once
+
+#include <span>
+
+#include "common/ids.h"
+#include "net/node_info.h"
+
+namespace geogrid::dualpeer {
+
+/// What the joiner should do and where.
+struct JoinDecision {
+  enum class Action : unsigned char {
+    kFillSecondary,  ///< join `region` as its secondary owner
+    kSplit,          ///< split `region` (it is full) and join a half
+  };
+  Action action = Action::kFillSecondary;
+  RegionId region{};
+};
+
+/// Ranks a candidate region for the join rule: least available primary
+/// capacity first; ties broken toward the higher workload index, then the
+/// smaller region id (determinism).
+bool join_candidate_less(const net::RegionSnapshot& a,
+                         const net::RegionSnapshot& b);
+
+/// Applies the paper's selection rule over the probe set (covering region
+/// plus its neighbors).
+JoinDecision select_join_target(const net::RegionSnapshot& covering,
+                                std::span<const net::RegionSnapshot> neighbors);
+
+/// After the joiner is seated as secondary: does it take the primary role?
+/// (Strictly more capacity than the incumbent.)
+bool joiner_takes_primary(double joiner_capacity, double incumbent_capacity);
+
+/// After a split: picks which of the two halves the joiner fills, the one
+/// whose owner has less available capacity.
+RegionId pick_half_to_join(const net::RegionSnapshot& low_half,
+                           const net::RegionSnapshot& high_half);
+
+}  // namespace geogrid::dualpeer

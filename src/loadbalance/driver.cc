@@ -1,0 +1,85 @@
+#include "loadbalance/driver.h"
+
+#include <algorithm>
+
+#include "loadbalance/workload_index.h"
+
+namespace geogrid::loadbalance {
+
+RegionId AdaptationDriver::hottest_region(NodeId node) const {
+  RegionId hottest = kInvalidRegion;
+  double max_load = -1.0;
+  for (RegionId rid : partition_.primary_regions(node)) {
+    const double load = load_of_(rid);
+    if (load > max_load || (load == max_load && rid < hottest)) {
+      max_load = load;
+      hottest = rid;
+    }
+  }
+  return hottest;
+}
+
+AdaptationStats AdaptationDriver::run_round() {
+  AdaptationStats round;
+
+  // Visit order: descending workload index at round start (the overloaded
+  // nodes act first, which is what their shorter trigger timers do in the
+  // real system); ids break ties for determinism.
+  std::vector<std::pair<double, NodeId>> order;
+  order.reserve(partition_.node_count());
+  for (const auto& [id, info] : partition_.nodes()) {
+    order.emplace_back(node_index(partition_, load_of_, id), id);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  for (const auto& [index_at_start, node] : order) {
+    if (!partition_.has_node(node)) continue;  // departed mid-round
+    if (!should_adapt(partition_, load_of_, node, config_.trigger_ratio)) {
+      continue;
+    }
+    ++round.triggered;
+    const RegionId subject = hottest_region(node);
+    if (!subject.valid()) continue;
+    const Plan plan =
+        plan_adaptation(partition_, load_of_, subject, config_);
+    if (plan && execute_plan(partition_, plan)) {
+      round.account(plan);
+    }
+  }
+
+  total_.merge(round);
+  return round;
+}
+
+std::optional<Plan> AdaptationDriver::step() {
+  std::vector<std::pair<double, NodeId>> order;
+  order.reserve(partition_.node_count());
+  for (const auto& [id, info] : partition_.nodes()) {
+    order.emplace_back(node_index(partition_, load_of_, id), id);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  for (const auto& [index, node] : order) {
+    if (!should_adapt(partition_, load_of_, node, config_.trigger_ratio)) {
+      continue;
+    }
+    ++total_.triggered;
+    const RegionId subject = hottest_region(node);
+    if (!subject.valid()) continue;
+    const Plan plan =
+        plan_adaptation(partition_, load_of_, subject, config_);
+    if (plan && execute_plan(partition_, plan)) {
+      total_.account(plan);
+      return plan;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace geogrid::loadbalance

@@ -1,0 +1,70 @@
+// Adaptation driver.
+//
+// The paper evaluates adaptation in "rounds": every node periodically
+// compares its workload index against its neighbors and, when the sqrt(2)
+// trigger fires, performs the cheapest applicable mechanism.  The driver
+// realizes both x-axes of the evaluation: run_round() gives Figures 7/8
+// (metrics per round of adaptation) and step() gives Figures 9/10 (metrics
+// per individual adaptation operation).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "loadbalance/mechanism.h"
+#include "loadbalance/planner.h"
+#include "overlay/partition.h"
+#include "overlay/snapshot.h"
+
+namespace geogrid::loadbalance {
+
+/// Counters for adaptations performed.
+struct AdaptationStats {
+  std::size_t triggered = 0;  ///< trigger evaluations that fired
+  std::size_t executed = 0;   ///< plans successfully executed
+  std::array<std::size_t, kMechanismCount> per_mechanism{};
+
+  void account(const Plan& plan) {
+    ++executed;
+    ++per_mechanism[static_cast<std::size_t>(plan.mechanism)];
+  }
+  void merge(const AdaptationStats& other) {
+    triggered += other.triggered;
+    executed += other.executed;
+    for (std::size_t i = 0; i < per_mechanism.size(); ++i) {
+      per_mechanism[i] += other.per_mechanism[i];
+    }
+  }
+};
+
+class AdaptationDriver {
+ public:
+  AdaptationDriver(overlay::Partition& partition, overlay::LoadFn load_of,
+                   PlannerConfig config)
+      : partition_(partition), load_of_(std::move(load_of)),
+        config_(config) {}
+
+  /// One round: every node, visited in descending workload-index order (as
+  /// measured at round start), re-checks its trigger and performs at most
+  /// one adaptation.  Returns the round's counters.
+  AdaptationStats run_round();
+
+  /// One adaptation: the most overloaded node whose trigger fires and that
+  /// has an applicable mechanism executes it.  Returns the plan, or nullopt
+  /// when the system is stable (no trigger fires or no mechanism applies).
+  std::optional<Plan> step();
+
+  const AdaptationStats& total() const noexcept { return total_; }
+  const PlannerConfig& config() const noexcept { return config_; }
+
+ private:
+  /// The node's most loaded primary region (subject of its adaptation).
+  RegionId hottest_region(NodeId node) const;
+
+  overlay::Partition& partition_;
+  overlay::LoadFn load_of_;
+  PlannerConfig config_;
+  AdaptationStats total_;
+};
+
+}  // namespace geogrid::loadbalance

@@ -1,0 +1,22 @@
+#include "loadbalance/mechanism.h"
+
+namespace geogrid::loadbalance {
+
+std::string_view mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kStealSecondary: return "steal-secondary";
+    case Mechanism::kSwitchPrimary: return "switch-primary";
+    case Mechanism::kMergeNeighbor: return "merge-neighbor";
+    case Mechanism::kSplitRegion: return "split-region";
+    case Mechanism::kSwitchWithNeighborSecondary:
+      return "switch-with-neighbor-secondary";
+    case Mechanism::kStealRemoteSecondary: return "steal-remote-secondary";
+    case Mechanism::kSwitchWithRemoteSecondary:
+      return "switch-with-remote-secondary";
+    case Mechanism::kSwitchWithRemotePrimary:
+      return "switch-with-remote-primary";
+  }
+  return "unknown";
+}
+
+}  // namespace geogrid::loadbalance

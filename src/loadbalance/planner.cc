@@ -1,0 +1,105 @@
+#include "loadbalance/planner.h"
+
+#include <cassert>
+#include <vector>
+
+#include "loadbalance/snapshot_planner.h"
+#include "loadbalance/ttl_search.h"
+
+namespace geogrid::loadbalance {
+
+using overlay::LoadFn;
+using overlay::Partition;
+using overlay::Region;
+
+Plan plan_adaptation(const Partition& partition, const LoadFn& load_of,
+                     RegionId subject, const PlannerConfig& config) {
+  assert(partition.has_region(subject));
+
+  // Engine mode builds the same snapshots a protocol node would hold and
+  // delegates to the pure snapshot planner, so both modes decide alike.
+  const net::RegionSnapshot subject_snap =
+      overlay::make_snapshot(partition, subject, load_of);
+  const std::vector<net::RegionSnapshot> neighbor_snaps =
+      overlay::neighbor_snapshots(partition, subject, load_of);
+
+  if (const Plan local = plan_local(subject_snap, neighbor_snaps, config)) {
+    return local;
+  }
+
+  const bool any_remote =
+      config.mechanism_enabled(Mechanism::kStealRemoteSecondary) ||
+      config.mechanism_enabled(Mechanism::kSwitchWithRemoteSecondary) ||
+      config.mechanism_enabled(Mechanism::kSwitchWithRemotePrimary);
+  if (!any_remote) return Plan{};
+
+  std::vector<net::RegionSnapshot> remote_snaps;
+  for (RegionId rid :
+       remote_regions(partition, subject, config.search_ttl)) {
+    remote_snaps.push_back(overlay::make_snapshot(partition, rid, load_of));
+  }
+  return plan_remote(subject_snap, remote_snaps, config);
+}
+
+bool execute_plan(Partition& partition, const Plan& plan) {
+  if (!plan.valid || !partition.has_region(plan.subject)) return false;
+  const Region& subject = partition.region(plan.subject);
+
+  switch (plan.mechanism) {
+    case Mechanism::kStealSecondary:
+    case Mechanism::kStealRemoteSecondary: {
+      if (subject.full()) return false;
+      if (!partition.has_region(plan.partner)) return false;
+      const Region& donor = partition.region(plan.partner);
+      if (!donor.full()) return false;
+      const NodeId stolen = *donor.secondary;
+      partition.clear_secondary(plan.partner);
+      partition.set_secondary(plan.subject, stolen);
+      // The stolen (stronger) node takes the primary seat; the overloaded
+      // primary resigns to secondary.
+      partition.swap_roles(plan.subject);
+      return true;
+    }
+    case Mechanism::kSwitchPrimary:
+    case Mechanism::kSwitchWithRemotePrimary: {
+      if (!partition.has_region(plan.partner)) return false;
+      partition.swap_primaries(plan.subject, plan.partner);
+      return true;
+    }
+    case Mechanism::kMergeNeighbor: {
+      if (!partition.has_region(plan.partner)) return false;
+      const Region& other = partition.region(plan.partner);
+      if (subject.full() || other.full()) return false;
+      if (!subject.rect.mergeable(other.rect)) return false;
+      const double cap_subject = partition.node(subject.primary).capacity;
+      const double cap_other = partition.node(other.primary).capacity;
+      if (cap_other > cap_subject) {
+        const NodeId weaker = subject.primary;
+        partition.merge(plan.partner, plan.subject);
+        partition.set_secondary(plan.partner, weaker);
+      } else {
+        const NodeId weaker = other.primary;
+        partition.merge(plan.subject, plan.partner);
+        partition.set_secondary(plan.subject, weaker);
+      }
+      return true;
+    }
+    case Mechanism::kSplitRegion: {
+      if (!subject.full()) return false;
+      const NodeId secondary = *subject.secondary;
+      partition.clear_secondary(plan.subject);
+      partition.split(plan.subject, secondary);
+      return true;
+    }
+    case Mechanism::kSwitchWithNeighborSecondary:
+    case Mechanism::kSwitchWithRemoteSecondary: {
+      if (!partition.has_region(plan.partner)) return false;
+      if (!partition.region(plan.partner).full()) return false;
+      partition.swap_primary_with_secondary(plan.subject, plan.partner);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace geogrid::loadbalance

@@ -1,0 +1,48 @@
+// Adaptation planning and execution.
+//
+// plan_adaptation() evaluates the eight mechanisms of §2.4 for one
+// overloaded region in the paper's order of increasing cost and returns the
+// first applicable one; execute_plan() applies a plan to the partition via
+// the owner-seat mechanics.  Both are deterministic: candidate ties break
+// on fixed keys, so a seeded experiment replays exactly.
+//
+// Applicability rules implemented (letters as in Figure 4):
+//  (a) subject half-full; a neighbor's secondary is stronger than the
+//      subject's primary; choose the qualifying neighbor with the lowest
+//      workload index; the stolen node becomes the subject's primary and
+//      the old primary resigns to secondary.
+//  (b) a neighbor's primary is stronger than the subject's primary and
+//      swapping strictly lowers the pairwise max workload index.
+//  (c) subject and a neighbor are geometrically mergeable, both half-full
+//      (so no owner loses a seat), and the merged region's index is lower
+//      than the average of the two; the stronger primary keeps the merged
+//      region, the weaker becomes its secondary.
+//  (d) subject full and the two owners have equal capacity: split between
+//      them, halving the primary's index.
+//  (e) subject full; a neighbor's secondary is stronger than the subject's
+//      primary: swap those two seats.
+//  (f) like (a) but the donor is found by TTL search (rings 2..ttl) and
+//      must be less loaded than the subject.
+//  (g) like (e) with a TTL-searched donor.
+//  (h) like (b) with a TTL-searched counterpart.
+#pragma once
+
+#include <optional>
+
+#include "loadbalance/mechanism.h"
+#include "overlay/partition.h"
+#include "overlay/snapshot.h"
+
+namespace geogrid::loadbalance {
+
+/// Picks the cheapest applicable mechanism for overloaded region `subject`.
+/// Returns an invalid Plan when nothing applies.
+Plan plan_adaptation(const overlay::Partition& partition,
+                     const overlay::LoadFn& load_of, RegionId subject,
+                     const PlannerConfig& config);
+
+/// Applies `plan`; returns false when its preconditions no longer hold
+/// (stale plan) in which case the partition is unchanged.
+bool execute_plan(overlay::Partition& partition, const Plan& plan);
+
+}  // namespace geogrid::loadbalance

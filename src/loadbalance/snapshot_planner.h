@@ -1,0 +1,38 @@
+// Snapshot-based adaptation planning.
+//
+// The mechanism-selection rules of §2.4, expressed purely over
+// RegionSnapshots — the information a real node actually holds (its own
+// region plus gossiped neighbor snapshots, plus TTL-search replies for the
+// remote mechanisms).  Protocol-mode nodes call these directly; the
+// engine-mode planner (planner.h) builds snapshots from the authoritative
+// Partition and delegates here, so both modes choose identical adaptations
+// given identical knowledge.
+#pragma once
+
+#include <span>
+
+#include "loadbalance/mechanism.h"
+#include "net/node_info.h"
+
+namespace geogrid::loadbalance {
+
+/// Plans the cheapest applicable *local* mechanism (a)-(e) for `subject`
+/// given its neighbor snapshots.  Returns an invalid Plan when none apply.
+Plan plan_local(const net::RegionSnapshot& subject,
+                std::span<const net::RegionSnapshot> neighbors,
+                const PlannerConfig& config);
+
+/// Plans the cheapest applicable *remote* mechanism (f)-(h) for `subject`
+/// given TTL-search candidate snapshots (graph rings 2..ttl).
+Plan plan_remote(const net::RegionSnapshot& subject,
+                 std::span<const net::RegionSnapshot> candidates,
+                 const PlannerConfig& config);
+
+/// The trigger rule over snapshots: `own_index` exceeds trigger_ratio times
+/// the lowest neighbor workload index.  Returns false when there are no
+/// neighbors.
+bool should_adapt_snapshots(double own_index,
+                            std::span<const net::RegionSnapshot> neighbors,
+                            double trigger_ratio);
+
+}  // namespace geogrid::loadbalance

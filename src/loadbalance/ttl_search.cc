@@ -1,0 +1,29 @@
+#include "loadbalance/ttl_search.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace geogrid::loadbalance {
+
+std::vector<RegionId> remote_regions(const overlay::Partition& partition,
+                                     RegionId origin, int ttl) {
+  std::vector<RegionId> result;
+  if (ttl < 2 || !partition.has_region(origin)) return result;
+
+  std::unordered_set<RegionId> seen{origin};
+  std::vector<RegionId> ring{origin};
+  for (int depth = 1; depth <= ttl && !ring.empty(); ++depth) {
+    std::vector<RegionId> next;
+    for (RegionId rid : ring) {
+      for (RegionId n : partition.neighbors(rid)) {
+        if (seen.insert(n).second) next.push_back(n);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    if (depth >= 2) result.insert(result.end(), next.begin(), next.end());
+    ring = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace geogrid::loadbalance

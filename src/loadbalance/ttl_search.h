@@ -1,0 +1,25 @@
+// TTL-guided search for remote adaptation candidates.
+//
+// When a region and all its immediate neighbors are overloaded, GeoGrid
+// "runs a Time to Live (TTL) guided search for the remote region whose
+// secondary owner has more capacity than the primary owner of the
+// overloaded region and is less loaded" (§2.4 f-h).  Engine mode realizes
+// the search as a breadth-first walk over the region adjacency graph,
+// visiting rings 2..ttl (ring 1 is what the local mechanisms already
+// probed); protocol mode floods TtlSearchRequest messages with the same
+// ring semantics.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "overlay/partition.h"
+
+namespace geogrid::loadbalance {
+
+/// Regions whose graph distance from `origin` is in [2, ttl], in BFS order
+/// (ring by ring, ids ascending within a ring for determinism).
+std::vector<RegionId> remote_regions(const overlay::Partition& partition,
+                                     RegionId origin, int ttl);
+
+}  // namespace geogrid::loadbalance

@@ -1,0 +1,52 @@
+// Workload index computation.
+//
+// The workload index of a node is the load it actually carries divided by
+// the capacity it dedicates to GeoGrid.  A primary owner carries the full
+// load of its regions; a secondary owner carries none until activated.
+// The adaptation trigger compares a node's index against the lowest index
+// among the owners of adjacent regions (§2.4: "a node starts its load
+// balance adaptation process only when its workload index is higher than
+// sqrt(2) times of the lowest one among its neighbors").
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "overlay/partition.h"
+#include "overlay/snapshot.h"
+
+namespace geogrid::loadbalance {
+
+/// Load carried by a node: the sum of loads of its primary regions.
+double node_load(const overlay::Partition& partition,
+                 const overlay::LoadFn& load_of, NodeId node);
+
+/// Workload index of a node: node_load / capacity.
+double node_index(const overlay::Partition& partition,
+                  const overlay::LoadFn& load_of, NodeId node);
+
+/// Workload index of a region under its current primary owner.
+double region_index(const overlay::Partition& partition,
+                    const overlay::LoadFn& load_of, RegionId region);
+
+/// Owners of regions adjacent to any region of `node` (primary owners
+/// only; each appears once, `node` excluded).
+std::vector<NodeId> neighbor_owners(const overlay::Partition& partition,
+                                    NodeId node);
+
+/// Lowest workload index among the neighbor owners; +inf when the node has
+/// no neighbors (isolated root region).
+double min_neighbor_index(const overlay::Partition& partition,
+                          const overlay::LoadFn& load_of, NodeId node);
+
+/// The adaptation trigger for `node` under `trigger_ratio`.
+bool should_adapt(const overlay::Partition& partition,
+                  const overlay::LoadFn& load_of, NodeId node,
+                  double trigger_ratio);
+
+/// Workload indexes of every node in the partition (order unspecified);
+/// the raw series behind the paper's max/mean/stddev plots.
+std::vector<double> all_node_indexes(const overlay::Partition& partition,
+                                     const overlay::LoadFn& load_of);
+
+}  // namespace geogrid::loadbalance

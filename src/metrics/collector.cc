@@ -1,0 +1,96 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "loadbalance/workload_index.h"
+#include "overlay/router.h"
+
+namespace geogrid::metrics {
+
+Summary workload_summary(const overlay::Partition& partition,
+                         const overlay::LoadFn& load_of) {
+  const auto indexes =
+      loadbalance::all_node_indexes(partition, load_of);
+  return summarize(indexes);
+}
+
+OccupancyStats occupancy(const overlay::Partition& partition) {
+  OccupancyStats stats;
+  stats.regions = partition.region_count();
+  for (const auto& [id, r] : partition.regions()) {
+    if (r.full()) {
+      ++stats.full;
+    } else {
+      ++stats.half_full;
+    }
+  }
+  return stats;
+}
+
+Histogram region_area_histogram(const overlay::Partition& partition,
+                                std::size_t bins) {
+  double max_area = 0.0;
+  for (const auto& [id, r] : partition.regions()) {
+    max_area = std::max(max_area, r.rect.area());
+  }
+  Histogram h(0.0, std::max(max_area, 1e-9), bins);
+  for (const auto& [id, r] : partition.regions()) h.add(r.rect.area());
+  return h;
+}
+
+std::vector<ShadedRect> shaded_regions(const overlay::Partition& partition,
+                                       const overlay::LoadFn& load_of) {
+  std::vector<ShadedRect> out;
+  out.reserve(partition.region_count());
+  for (const auto& [id, r] : partition.regions()) {
+    out.push_back(ShadedRect{
+        r.rect, loadbalance::region_index(partition, load_of, id)});
+  }
+  return out;
+}
+
+Summary routing_hop_summary(const overlay::Partition& partition, Rng& rng,
+                            std::size_t samples) {
+  RunningStats hops;
+  if (partition.region_count() == 0) return hops.summary();
+
+  // Stable id list for reproducible sampling.
+  std::vector<RegionId> ids;
+  ids.reserve(partition.region_count());
+  for (const auto& [id, r] : partition.regions()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const RegionId from = ids[rng.uniform_index(ids.size())];
+    const RegionId to = ids[rng.uniform_index(ids.size())];
+    const Point target = partition.region(to).rect.center();
+    const auto route = overlay::route_greedy(partition, from, target);
+    if (route.reached) hops.add(static_cast<double>(route.hops));
+  }
+  return hops.summary();
+}
+
+double area_capacity_correlation(const overlay::Partition& partition) {
+  RunningStats area_stats;
+  RunningStats cap_stats;
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(partition.region_count());
+  for (const auto& [id, r] : partition.regions()) {
+    const double area = r.rect.area();
+    const double capacity = partition.node(r.primary).capacity;
+    pairs.emplace_back(area, capacity);
+    area_stats.add(area);
+    cap_stats.add(capacity);
+  }
+  if (pairs.size() < 2) return 0.0;
+  const double ma = area_stats.mean();
+  const double mc = cap_stats.mean();
+  double cov = 0.0;
+  for (const auto& [a, c] : pairs) cov += (a - ma) * (c - mc);
+  cov /= static_cast<double>(pairs.size());
+  const double denom = area_stats.stddev() * cap_stats.stddev();
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+}  // namespace geogrid::metrics

@@ -1,0 +1,52 @@
+// Measurement collectors.
+//
+// Everything the paper's figures plot comes through here: the max/mean/
+// standard deviation of the per-node workload index (Figures 5-10), the
+// region size and load distributions (Figures 2-3), and the routing hop
+// statistics behind the O(2*sqrt(N)) claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ascii_render.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "overlay/partition.h"
+#include "overlay/snapshot.h"
+
+namespace geogrid::metrics {
+
+/// Summary (count/mean/stddev/min/max) of all node workload indexes.
+Summary workload_summary(const overlay::Partition& partition,
+                         const overlay::LoadFn& load_of);
+
+/// Region occupancy counts.
+struct OccupancyStats {
+  std::size_t regions = 0;
+  std::size_t full = 0;       ///< regions with a dual peer
+  std::size_t half_full = 0;  ///< single-owner regions
+};
+OccupancyStats occupancy(const overlay::Partition& partition);
+
+/// Histogram of region areas (square miles).
+Histogram region_area_histogram(const overlay::Partition& partition,
+                                std::size_t bins = 16);
+
+/// Shaded rectangles (region rect + workload index of its primary owner)
+/// for the Figure 2/3 partition visualizations.
+std::vector<ShadedRect> shaded_regions(const overlay::Partition& partition,
+                                       const overlay::LoadFn& load_of);
+
+/// Routes `samples` queries between uniformly random region pairs and
+/// summarizes hop counts.
+Summary routing_hop_summary(const overlay::Partition& partition, Rng& rng,
+                            std::size_t samples);
+
+/// Correlation between region area and the primary owner's capacity —
+/// quantifies Figure 3's claim that "more powerful nodes now own bigger
+/// regions".  Pearson's r over (area, capacity) pairs.
+double area_capacity_correlation(const overlay::Partition& partition);
+
+}  // namespace geogrid::metrics

@@ -1,0 +1,25 @@
+#include "net/codec.h"
+
+namespace geogrid::net {
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (shift >= 64) throw CodecError("varint overflow");
+    const std::uint8_t byte = u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace geogrid::net

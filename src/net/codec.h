@@ -1,0 +1,151 @@
+// Binary wire codec.
+//
+// GeoGrid middleware messages are exchanged between nodes as length-framed
+// binary records.  The codec is a plain little-endian writer/reader pair
+// with LEB128 varints for counts; it exists (a) so the simulated network can
+// account realistic wire sizes per message and (b) so integration tests can
+// prove every protocol message round-trips losslessly, which is what keeps
+// the simulation honest about what information a node can actually know.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+
+namespace geogrid::net {
+
+/// Thrown by Reader on truncated or malformed input.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends primitive values to a byte buffer (little-endian).
+class Writer {
+ public:
+  const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  std::vector<std::byte> take() && noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+
+  /// LEB128 unsigned varint; used for counts and small ids.
+  void varint(std::uint64_t v);
+
+  void f64(double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    u64(bits);
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void string(std::string_view s) {
+    varint(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void point(const Point& p) {
+    f64(p.x);
+    f64(p.y);
+  }
+
+  void rect(const Rect& r) {
+    f64(r.x);
+    f64(r.y);
+    f64(r.width);
+    f64(r.height);
+  }
+
+  void node_id(NodeId id) { u32(id.value); }
+  void region_id(RegionId id) { u32(id.value); }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// Consumes primitive values from a byte span; throws CodecError when the
+/// input is exhausted early.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  Reader(const std::byte* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool done() const noexcept { return pos_ == size_; }
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() { return read_raw<std::uint16_t>(); }
+  std::uint32_t u32() { return read_raw<std::uint32_t>(); }
+  std::uint64_t u64() { return read_raw<std::uint64_t>(); }
+
+  std::uint64_t varint();
+
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  std::string string() {
+    const std::uint64_t n = varint();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Point point() {
+    const double x = f64();
+    const double y = f64();
+    return Point{x, y};
+  }
+
+  Rect rect() {
+    const double x = f64();
+    const double y = f64();
+    const double w = f64();
+    const double h = f64();
+    return Rect{x, y, w, h};
+  }
+
+  NodeId node_id() { return NodeId{u32()}; }
+  RegionId region_id() { return RegionId{u32()}; }
+
+ private:
+  template <typename T>
+  T read_raw() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw CodecError("truncated message");
+  }
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace geogrid::net

@@ -1,0 +1,101 @@
+#include "net/messages.h"
+
+namespace geogrid::net {
+namespace {
+
+/// Calls T::decode for the variant alternative whose kType matches `type`.
+template <std::size_t I = 0>
+Message decode_by_type(MsgType type, Reader& r) {
+  if constexpr (I < std::variant_size_v<Message>) {
+    using T = std::variant_alternative_t<I, Message>;
+    if (T::kType == type) return T::decode(r);
+    return decode_by_type<I + 1>(type, r);
+  } else {
+    throw CodecError("unknown message type " +
+                     std::to_string(static_cast<unsigned>(type)));
+  }
+}
+
+}  // namespace
+
+MsgType message_type(const Message& m) {
+  return std::visit([](const auto& msg) { return msg.kType; }, m);
+}
+
+std::string_view message_name(MsgType type) {
+  switch (type) {
+    case MsgType::kBootstrapRegister: return "BootstrapRegister";
+    case MsgType::kBootstrapEntryRequest: return "BootstrapEntryRequest";
+    case MsgType::kBootstrapEntryReply: return "BootstrapEntryReply";
+    case MsgType::kJoinRequest: return "JoinRequest";
+    case MsgType::kJoinProbeReply: return "JoinProbeReply";
+    case MsgType::kSecondaryJoinRequest: return "SecondaryJoinRequest";
+    case MsgType::kSplitJoinRequest: return "SplitJoinRequest";
+    case MsgType::kJoinGrant: return "JoinGrant";
+    case MsgType::kJoinReject: return "JoinReject";
+    case MsgType::kNeighborUpdate: return "NeighborUpdate";
+    case MsgType::kNeighborRemove: return "NeighborRemove";
+    case MsgType::kLeaveNotice: return "LeaveNotice";
+    case MsgType::kTakeoverNotice: return "TakeoverNotice";
+    case MsgType::kRegionHandoff: return "RegionHandoff";
+    case MsgType::kHeartbeat: return "Heartbeat";
+    case MsgType::kHeartbeatAck: return "HeartbeatAck";
+    case MsgType::kSyncState: return "SyncState";
+    case MsgType::kLoadStatsExchange: return "LoadStatsExchange";
+    case MsgType::kStealSecondaryRequest: return "StealSecondaryRequest";
+    case MsgType::kStealSecondaryGrant: return "StealSecondaryGrant";
+    case MsgType::kStealSecondaryReject: return "StealSecondaryReject";
+    case MsgType::kSwitchRequest: return "SwitchRequest";
+    case MsgType::kSwitchGrant: return "SwitchGrant";
+    case MsgType::kSwitchReject: return "SwitchReject";
+    case MsgType::kMergeRequest: return "MergeRequest";
+    case MsgType::kMergeGrant: return "MergeGrant";
+    case MsgType::kMergeReject: return "MergeReject";
+    case MsgType::kSplitRegionNotice: return "SplitRegionNotice";
+    case MsgType::kTtlSearchRequest: return "TtlSearchRequest";
+    case MsgType::kTtlSearchReply: return "TtlSearchReply";
+    case MsgType::kOwnerProbe: return "OwnerProbe";
+    case MsgType::kRouted: return "Routed";
+    case MsgType::kLocationQuery: return "LocationQuery";
+    case MsgType::kQueryResult: return "QueryResult";
+    case MsgType::kSubscribe: return "Subscribe";
+    case MsgType::kSubscribeAck: return "SubscribeAck";
+    case MsgType::kPublish: return "Publish";
+    case MsgType::kNotify: return "Notify";
+  }
+  return "Unknown";
+}
+
+std::vector<std::byte> encode_message(const Message& m) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(message_type(m)));
+  std::visit([&w](const auto& msg) { msg.encode(w); }, m);
+  return std::move(w).take();
+}
+
+Message decode_message(const std::byte* data, std::size_t size) {
+  Reader r(data, size);
+  const auto type = static_cast<MsgType>(r.u16());
+  Message m = decode_by_type(type, r);
+  if (!r.done()) throw CodecError("trailing bytes after message");
+  return m;
+}
+
+Message decode_message(const std::vector<std::byte>& bytes) {
+  return decode_message(bytes.data(), bytes.size());
+}
+
+std::size_t wire_size(const Message& m) {
+  return encode_message(m).size() + kPacketOverheadBytes;
+}
+
+Routed make_routed(const Point& target, const Message& inner) {
+  Routed env;
+  env.target = target;
+  env.inner = encode_message(inner);
+  return env;
+}
+
+Message unwrap_routed(const Routed& r) { return decode_message(r.inner); }
+
+}  // namespace geogrid::net

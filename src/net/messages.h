@@ -1,0 +1,864 @@
+// GeoGrid wire protocol.
+//
+// The paper distinguishes two message families: management messages
+// ("splitting and merging region, heart-beat, request routing,
+// load-balancing, routing table maintenance") whose syntax the middleware
+// defines, and application messages that must carry the geographic
+// coordinates of their destination.  This header defines both families as a
+// closed std::variant so node logic can handle them exhaustively, plus the
+// binary encode/decode for every type (the simulated network can run in a
+// verify mode that round-trips each message through the codec to prove the
+// protocol state machines only use information that actually crosses the
+// wire).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "net/codec.h"
+#include "net/node_info.h"
+
+namespace geogrid::net {
+
+/// Wire tag for each message type.  Values are stable protocol constants.
+enum class MsgType : std::uint16_t {
+  // Bootstrap service.
+  kBootstrapRegister = 1,
+  kBootstrapEntryRequest = 2,
+  kBootstrapEntryReply = 3,
+  // Join.
+  kJoinRequest = 10,
+  kJoinProbeReply = 11,
+  kSecondaryJoinRequest = 12,
+  kSplitJoinRequest = 13,
+  kJoinGrant = 14,
+  kJoinReject = 15,
+  // Neighbor table maintenance.
+  kNeighborUpdate = 20,
+  kNeighborRemove = 21,
+  // Departure, failure, repair.
+  kLeaveNotice = 30,
+  kTakeoverNotice = 31,
+  kRegionHandoff = 32,
+  // Heartbeats and dual-peer state sync.
+  kHeartbeat = 40,
+  kHeartbeatAck = 41,
+  kSyncState = 42,
+  // Load-balance.
+  kLoadStatsExchange = 50,
+  kStealSecondaryRequest = 51,
+  kStealSecondaryGrant = 52,
+  kStealSecondaryReject = 53,
+  kSwitchRequest = 54,
+  kSwitchGrant = 55,
+  kSwitchReject = 56,
+  kMergeRequest = 57,
+  kMergeGrant = 58,
+  kMergeReject = 59,
+  kSplitRegionNotice = 60,
+  kTtlSearchRequest = 61,
+  kTtlSearchReply = 62,
+  kOwnerProbe = 63,
+  // Routed envelope.
+  kRouted = 70,
+  // Application layer.
+  kLocationQuery = 80,
+  kQueryResult = 81,
+  kSubscribe = 82,
+  kSubscribeAck = 83,
+  kPublish = 84,
+  kNotify = 85,
+};
+
+namespace detail {
+
+inline void encode_snapshots(Writer& w, const std::vector<RegionSnapshot>& v) {
+  w.varint(v.size());
+  for (const auto& s : v) s.encode(w);
+}
+
+inline std::vector<RegionSnapshot> decode_snapshots(Reader& r) {
+  const auto n = r.varint();
+  std::vector<RegionSnapshot> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(RegionSnapshot::decode(r));
+  return v;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Bootstrap service messages.
+// ---------------------------------------------------------------------------
+
+/// Node -> bootstrap server: register so later joiners can discover us.
+struct BootstrapRegister {
+  static constexpr MsgType kType = MsgType::kBootstrapRegister;
+  NodeInfo node;
+
+  void encode(Writer& w) const { node.encode(w); }
+  static BootstrapRegister decode(Reader& r) { return {NodeInfo::decode(r)}; }
+};
+
+/// Joiner -> bootstrap server: request a random entry node.
+struct BootstrapEntryRequest {
+  static constexpr MsgType kType = MsgType::kBootstrapEntryRequest;
+  NodeInfo requester;
+
+  void encode(Writer& w) const { requester.encode(w); }
+  static BootstrapEntryRequest decode(Reader& r) {
+    return {NodeInfo::decode(r)};
+  }
+};
+
+/// Bootstrap server -> joiner: a randomly selected existing node (absent
+/// when the requester is the first node and should found the grid).
+struct BootstrapEntryReply {
+  static constexpr MsgType kType = MsgType::kBootstrapEntryReply;
+  std::optional<NodeInfo> entry;
+
+  void encode(Writer& w) const {
+    w.boolean(entry.has_value());
+    if (entry) entry->encode(w);
+  }
+  static BootstrapEntryReply decode(Reader& r) {
+    BootstrapEntryReply m;
+    if (r.boolean()) m.entry = NodeInfo::decode(r);
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Join protocol.
+// ---------------------------------------------------------------------------
+
+/// Routed toward the joiner's own coordinate; the owner of the covering
+/// region answers (basic mode: splits immediately; dual-peer mode: replies
+/// with a JoinProbeReply first).
+struct JoinRequest {
+  static constexpr MsgType kType = MsgType::kJoinRequest;
+  NodeInfo joiner;
+
+  void encode(Writer& w) const { joiner.encode(w); }
+  static JoinRequest decode(Reader& r) { return {NodeInfo::decode(r)}; }
+};
+
+/// Covering-region owner -> joiner: dual-peer probe result, the covering
+/// region plus its neighbor regions with ownership and capacity facts.
+struct JoinProbeReply {
+  static constexpr MsgType kType = MsgType::kJoinProbeReply;
+  RegionSnapshot covering;
+  std::vector<RegionSnapshot> neighbors;
+
+  void encode(Writer& w) const {
+    covering.encode(w);
+    detail::encode_snapshots(w, neighbors);
+  }
+  static JoinProbeReply decode(Reader& r) {
+    JoinProbeReply m;
+    m.covering = RegionSnapshot::decode(r);
+    m.neighbors = detail::decode_snapshots(r);
+    return m;
+  }
+};
+
+/// Joiner -> primary of a half-full region: become its secondary owner.
+struct SecondaryJoinRequest {
+  static constexpr MsgType kType = MsgType::kSecondaryJoinRequest;
+  NodeInfo joiner;
+  RegionId region;
+
+  void encode(Writer& w) const {
+    joiner.encode(w);
+    w.region_id(region);
+  }
+  static SecondaryJoinRequest decode(Reader& r) {
+    SecondaryJoinRequest m;
+    m.joiner = NodeInfo::decode(r);
+    m.region = r.region_id();
+    return m;
+  }
+};
+
+/// Joiner -> primary of a region selected for splitting.
+struct SplitJoinRequest {
+  static constexpr MsgType kType = MsgType::kSplitJoinRequest;
+  NodeInfo joiner;
+  RegionId region;
+
+  void encode(Writer& w) const {
+    joiner.encode(w);
+    w.region_id(region);
+  }
+  static SplitJoinRequest decode(Reader& r) {
+    SplitJoinRequest m;
+    m.joiner = NodeInfo::decode(r);
+    m.region = r.region_id();
+    return m;
+  }
+};
+
+/// Role granted to a joining node.
+enum class OwnerRole : std::uint8_t { kPrimary = 0, kSecondary = 1 };
+
+/// Region owner -> joiner: your region (or secondary seat), with the
+/// neighbor list to initialize the joiner's routing state.
+struct JoinGrant {
+  static constexpr MsgType kType = MsgType::kJoinGrant;
+  RegionSnapshot region_state;
+  OwnerRole role = OwnerRole::kPrimary;
+  std::vector<RegionSnapshot> neighbors;
+
+  void encode(Writer& w) const {
+    region_state.encode(w);
+    w.u8(static_cast<std::uint8_t>(role));
+    detail::encode_snapshots(w, neighbors);
+  }
+  static JoinGrant decode(Reader& r) {
+    JoinGrant m;
+    m.region_state = RegionSnapshot::decode(r);
+    m.role = static_cast<OwnerRole>(r.u8());
+    m.neighbors = detail::decode_snapshots(r);
+    return m;
+  }
+};
+
+/// Join attempt failed (stale probe, concurrent change); joiner retries.
+struct JoinReject {
+  static constexpr MsgType kType = MsgType::kJoinReject;
+  std::string reason;
+
+  void encode(Writer& w) const { w.string(reason); }
+  static JoinReject decode(Reader& r) { return {r.string()}; }
+};
+
+// ---------------------------------------------------------------------------
+// Neighbor table maintenance.
+// ---------------------------------------------------------------------------
+
+/// Adds or refreshes one entry of the receiver's neighbor table.
+struct NeighborUpdate {
+  static constexpr MsgType kType = MsgType::kNeighborUpdate;
+  RegionSnapshot snapshot;
+
+  void encode(Writer& w) const { snapshot.encode(w); }
+  static NeighborUpdate decode(Reader& r) {
+    return {RegionSnapshot::decode(r)};
+  }
+};
+
+/// Drops one entry (region was merged away or is no longer adjacent).
+struct NeighborRemove {
+  static constexpr MsgType kType = MsgType::kNeighborRemove;
+  RegionId region;
+
+  void encode(Writer& w) const { w.region_id(region); }
+  static NeighborRemove decode(Reader& r) { return {r.region_id()}; }
+};
+
+// ---------------------------------------------------------------------------
+// Departure / failure / repair.
+// ---------------------------------------------------------------------------
+
+/// Graceful goodbye from an owner of `region`.
+struct LeaveNotice {
+  static constexpr MsgType kType = MsgType::kLeaveNotice;
+  RegionId region;
+  bool was_primary = false;
+
+  void encode(Writer& w) const {
+    w.region_id(region);
+    w.boolean(was_primary);
+  }
+  static LeaveNotice decode(Reader& r) {
+    LeaveNotice m;
+    m.region = r.region_id();
+    m.was_primary = r.boolean();
+    return m;
+  }
+};
+
+/// New primary (activated secondary or caretaker) announces ownership.
+/// Caretaker takeovers flood with a small TTL so rival claimants that
+/// cannot see each other directly still learn of the winner.
+struct TakeoverNotice {
+  static constexpr MsgType kType = MsgType::kTakeoverNotice;
+  RegionSnapshot snapshot;
+  std::uint8_t flood_ttl = 0;
+
+  void encode(Writer& w) const {
+    snapshot.encode(w);
+    w.u8(flood_ttl);
+  }
+  static TakeoverNotice decode(Reader& r) {
+    TakeoverNotice m;
+    m.snapshot = RegionSnapshot::decode(r);
+    m.flood_ttl = r.u8();
+    return m;
+  }
+};
+
+/// Transfers a region seat to the receiver: on departure (caretaker
+/// handoff), split (the peer's new half), or adaptation (stolen/switched
+/// seats).  The receiver determines its role by matching its own id against
+/// region_state's owners.  When `vacate` names a region, the receiver drops
+/// any seat it holds there first (e.g. the secondary seat it was stolen
+/// from).
+struct RegionHandoff {
+  static constexpr MsgType kType = MsgType::kRegionHandoff;
+  RegionSnapshot region_state;
+  std::vector<RegionSnapshot> neighbors;
+  RegionId vacate{};  ///< seat to drop before adopting (invalid = none)
+
+  void encode(Writer& w) const {
+    region_state.encode(w);
+    detail::encode_snapshots(w, neighbors);
+    w.region_id(vacate);
+  }
+  static RegionHandoff decode(Reader& r) {
+    RegionHandoff m;
+    m.region_state = RegionSnapshot::decode(r);
+    m.neighbors = detail::decode_snapshots(r);
+    m.vacate = r.region_id();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Heartbeats and dual-peer synchronization.
+// ---------------------------------------------------------------------------
+
+/// Liveness probe; dual peers of one region exchange these at a higher
+/// frequency than primaries of different regions (per the paper).
+struct Heartbeat {
+  static constexpr MsgType kType = MsgType::kHeartbeat;
+  RegionId region;
+  double load = 0.0;
+  double available = 0.0;
+
+  void encode(Writer& w) const {
+    w.region_id(region);
+    w.f64(load);
+    w.f64(available);
+  }
+  static Heartbeat decode(Reader& r) {
+    Heartbeat m;
+    m.region = r.region_id();
+    m.load = r.f64();
+    m.available = r.f64();
+    return m;
+  }
+};
+
+struct HeartbeatAck {
+  static constexpr MsgType kType = MsgType::kHeartbeatAck;
+  RegionId region;
+
+  void encode(Writer& w) const { w.region_id(region); }
+  static HeartbeatAck decode(Reader& r) { return {r.region_id()}; }
+};
+
+/// Primary -> secondary replication of application state (subscriptions and
+/// published objects); `payload_bytes` models the replica size on the wire.
+struct SyncState {
+  static constexpr MsgType kType = MsgType::kSyncState;
+  RegionId region;
+  std::uint64_t version = 0;
+  std::string payload;
+
+  void encode(Writer& w) const {
+    w.region_id(region);
+    w.u64(version);
+    w.string(payload);
+  }
+  static SyncState decode(Reader& r) {
+    SyncState m;
+    m.region = r.region_id();
+    m.version = r.u64();
+    m.payload = r.string();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Load-balance protocol.
+// ---------------------------------------------------------------------------
+
+/// Periodic workload gossip: snapshots of every region the sender owns.
+struct LoadStatsExchange {
+  static constexpr MsgType kType = MsgType::kLoadStatsExchange;
+  std::vector<RegionSnapshot> regions;
+
+  void encode(Writer& w) const { detail::encode_snapshots(w, regions); }
+  static LoadStatsExchange decode(Reader& r) {
+    return {detail::decode_snapshots(r)};
+  }
+};
+
+/// Overloaded primary -> primary of `victim_region`: release your secondary
+/// so it can take over my overloaded region (mechanisms a and f).
+struct StealSecondaryRequest {
+  static constexpr MsgType kType = MsgType::kStealSecondaryRequest;
+  RegionId victim_region;
+  RegionSnapshot overloaded;
+
+  void encode(Writer& w) const {
+    w.region_id(victim_region);
+    overloaded.encode(w);
+  }
+  static StealSecondaryRequest decode(Reader& r) {
+    StealSecondaryRequest m;
+    m.victim_region = r.region_id();
+    m.overloaded = RegionSnapshot::decode(r);
+    return m;
+  }
+};
+
+struct StealSecondaryGrant {
+  static constexpr MsgType kType = MsgType::kStealSecondaryGrant;
+  RegionId victim_region;
+  NodeInfo stolen;
+
+  void encode(Writer& w) const {
+    w.region_id(victim_region);
+    stolen.encode(w);
+  }
+  static StealSecondaryGrant decode(Reader& r) {
+    StealSecondaryGrant m;
+    m.victim_region = r.region_id();
+    m.stolen = NodeInfo::decode(r);
+    return m;
+  }
+};
+
+struct StealSecondaryReject {
+  static constexpr MsgType kType = MsgType::kStealSecondaryReject;
+  RegionId victim_region;
+
+  void encode(Writer& w) const { w.region_id(victim_region); }
+  static StealSecondaryReject decode(Reader& r) { return {r.region_id()}; }
+};
+
+/// What a switch proposal swaps.
+enum class SwitchKind : std::uint8_t {
+  kPrimaryWithPrimary = 0,    ///< mechanisms (b) and (h)
+  kPrimaryWithSecondary = 1,  ///< mechanisms (e) and (g)
+};
+
+/// Proposal to swap owner seats between the proposer's region and
+/// `target_region` owned by the receiver.
+struct SwitchRequest {
+  static constexpr MsgType kType = MsgType::kSwitchRequest;
+  SwitchKind kind = SwitchKind::kPrimaryWithPrimary;
+  RegionSnapshot proposer_region;
+  /// Neighbor table of the proposer's region, so a granting counterpart can
+  /// adopt the region without a second round-trip.
+  std::vector<RegionSnapshot> proposer_neighbors;
+  RegionId target_region;
+
+  void encode(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(kind));
+    proposer_region.encode(w);
+    detail::encode_snapshots(w, proposer_neighbors);
+    w.region_id(target_region);
+  }
+  static SwitchRequest decode(Reader& r) {
+    SwitchRequest m;
+    m.kind = static_cast<SwitchKind>(r.u8());
+    m.proposer_region = RegionSnapshot::decode(r);
+    m.proposer_neighbors = detail::decode_snapshots(r);
+    m.target_region = r.region_id();
+    return m;
+  }
+};
+
+struct SwitchGrant {
+  static constexpr MsgType kType = MsgType::kSwitchGrant;
+  SwitchKind kind = SwitchKind::kPrimaryWithPrimary;
+  RegionId target_region;
+  NodeInfo counterpart;  ///< the node moving into the proposer's region
+
+  void encode(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.region_id(target_region);
+    counterpart.encode(w);
+  }
+  static SwitchGrant decode(Reader& r) {
+    SwitchGrant m;
+    m.kind = static_cast<SwitchKind>(r.u8());
+    m.target_region = r.region_id();
+    m.counterpart = NodeInfo::decode(r);
+    return m;
+  }
+};
+
+struct SwitchReject {
+  static constexpr MsgType kType = MsgType::kSwitchReject;
+  RegionId target_region;
+
+  void encode(Writer& w) const { w.region_id(target_region); }
+  static SwitchReject decode(Reader& r) { return {r.region_id()}; }
+};
+
+/// Proposal to merge the proposer's region into the receiver's adjacent
+/// region (mechanism c); on grant the receiver owns the union.
+struct MergeRequest {
+  static constexpr MsgType kType = MsgType::kMergeRequest;
+  RegionSnapshot proposer_region;
+  /// Proposer's neighbor table; the merged region inherits the adjacent
+  /// subset.
+  std::vector<RegionSnapshot> proposer_neighbors;
+  RegionId target_region;
+
+  void encode(Writer& w) const {
+    proposer_region.encode(w);
+    detail::encode_snapshots(w, proposer_neighbors);
+    w.region_id(target_region);
+  }
+  static MergeRequest decode(Reader& r) {
+    MergeRequest m;
+    m.proposer_region = RegionSnapshot::decode(r);
+    m.proposer_neighbors = detail::decode_snapshots(r);
+    m.target_region = r.region_id();
+    return m;
+  }
+};
+
+struct MergeGrant {
+  static constexpr MsgType kType = MsgType::kMergeGrant;
+  RegionSnapshot merged;  ///< the union region under the receiver
+
+  void encode(Writer& w) const { merged.encode(w); }
+  static MergeGrant decode(Reader& r) { return {RegionSnapshot::decode(r)}; }
+};
+
+struct MergeReject {
+  static constexpr MsgType kType = MsgType::kMergeReject;
+  RegionId target_region;
+
+  void encode(Writer& w) const { w.region_id(target_region); }
+  static MergeReject decode(Reader& r) { return {r.region_id()}; }
+};
+
+/// After a load-balance split (mechanism d): old region replaced by two.
+struct SplitRegionNotice {
+  static constexpr MsgType kType = MsgType::kSplitRegionNotice;
+  RegionId old_region;
+  RegionSnapshot low;
+  RegionSnapshot high;
+
+  void encode(Writer& w) const {
+    w.region_id(old_region);
+    low.encode(w);
+    high.encode(w);
+  }
+  static SplitRegionNotice decode(Reader& r) {
+    SplitRegionNotice m;
+    m.old_region = r.region_id();
+    m.low = RegionSnapshot::decode(r);
+    m.high = RegionSnapshot::decode(r);
+    return m;
+  }
+};
+
+/// What the TTL-guided remote search is looking for.
+enum class SearchWant : std::uint8_t {
+  kSecondary = 0,  ///< a remote secondary owner (mechanisms f, g)
+  kPrimary = 1,    ///< a remote primary owner (mechanism h)
+};
+
+/// TTL-guided flood over neighbor links for a remote candidate stronger
+/// than `min_capacity` and with workload index below `max_index`.
+struct TtlSearchRequest {
+  static constexpr MsgType kType = MsgType::kTtlSearchRequest;
+  std::uint32_t search_id = 0;
+  NodeInfo origin;
+  SearchWant want = SearchWant::kSecondary;
+  double min_capacity = 0.0;
+  double max_index = 0.0;
+  std::uint8_t ttl = 0;    ///< maximum graph depth of the flood
+  std::uint8_t depth = 0;  ///< hops traveled; replies come from depth >= 2
+
+  void encode(Writer& w) const {
+    w.u32(search_id);
+    origin.encode(w);
+    w.u8(static_cast<std::uint8_t>(want));
+    w.f64(min_capacity);
+    w.f64(max_index);
+    w.u8(ttl);
+    w.u8(depth);
+  }
+  static TtlSearchRequest decode(Reader& r) {
+    TtlSearchRequest m;
+    m.search_id = r.u32();
+    m.origin = NodeInfo::decode(r);
+    m.want = static_cast<SearchWant>(r.u8());
+    m.min_capacity = r.f64();
+    m.max_index = r.f64();
+    m.ttl = r.u8();
+    m.depth = r.u8();
+    return m;
+  }
+};
+
+struct TtlSearchReply {
+  static constexpr MsgType kType = MsgType::kTtlSearchReply;
+  std::uint32_t search_id = 0;
+  RegionSnapshot candidate;
+  SearchWant role = SearchWant::kSecondary;
+
+  void encode(Writer& w) const {
+    w.u32(search_id);
+    candidate.encode(w);
+    w.u8(static_cast<std::uint8_t>(role));
+  }
+  static TtlSearchReply decode(Reader& r) {
+    TtlSearchReply m;
+    m.search_id = r.u32();
+    m.candidate = RegionSnapshot::decode(r);
+    m.role = static_cast<SearchWant>(r.u8());
+    return m;
+  }
+};
+
+/// Liveness probe for a suspected-dead region, routed to the region's last
+/// known center.  Whoever covers that point replies to the prober: with a
+/// NeighborUpdate of its region (refuting the suspicion or correcting a
+/// stale rectangle), plus a NeighborRemove when the probed region id no
+/// longer exists.  No reply at all means the area is orphaned and the
+/// prober may adopt it.
+struct OwnerProbe {
+  static constexpr MsgType kType = MsgType::kOwnerProbe;
+  RegionId region;      ///< the suspect region
+  NodeInfo prober;      ///< where to send the verdict
+
+  void encode(Writer& w) const {
+    w.region_id(region);
+    prober.encode(w);
+  }
+  static OwnerProbe decode(Reader& r) {
+    OwnerProbe m;
+    m.region = r.region_id();
+    m.prober = NodeInfo::decode(r);
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Routed envelope.
+// ---------------------------------------------------------------------------
+
+/// Carrier for any message that must travel to the region covering `target`
+/// via greedy geographic forwarding.  The inner message stays encoded while
+/// in transit (intermediate hops never inspect it).
+struct Routed {
+  static constexpr MsgType kType = MsgType::kRouted;
+  Point target;
+  std::uint16_t hops = 0;
+  std::vector<std::byte> inner;
+
+  void encode(Writer& w) const {
+    w.point(target);
+    w.u16(hops);
+    w.varint(inner.size());
+    for (std::byte b : inner) w.u8(static_cast<std::uint8_t>(b));
+  }
+  static Routed decode(Reader& r) {
+    Routed m;
+    m.target = r.point();
+    m.hops = r.u16();
+    const auto n = r.varint();
+    m.inner.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+      m.inner.push_back(static_cast<std::byte>(r.u8()));
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Application layer.
+// ---------------------------------------------------------------------------
+
+/// A location query: spatial region, filter condition, focal node (the
+/// paper's example: "Inform me of the traffic around Exit 89 on I-85").
+struct LocationQuery {
+  static constexpr MsgType kType = MsgType::kLocationQuery;
+  std::uint64_t query_id = 0;
+  NodeInfo focal;
+  Rect area;
+  std::string filter;
+  bool disseminated = false;  ///< set once the executor fans it out
+
+  void encode(Writer& w) const {
+    w.u64(query_id);
+    focal.encode(w);
+    w.rect(area);
+    w.string(filter);
+    w.boolean(disseminated);
+  }
+  static LocationQuery decode(Reader& r) {
+    LocationQuery m;
+    m.query_id = r.u64();
+    m.focal = NodeInfo::decode(r);
+    m.area = r.rect();
+    m.filter = r.string();
+    m.disseminated = r.boolean();
+    return m;
+  }
+};
+
+struct QueryResult {
+  static constexpr MsgType kType = MsgType::kQueryResult;
+  std::uint64_t query_id = 0;
+  RegionId from_region;
+  std::string payload;
+
+  void encode(Writer& w) const {
+    w.u64(query_id);
+    w.region_id(from_region);
+    w.string(payload);
+  }
+  static QueryResult decode(Reader& r) {
+    QueryResult m;
+    m.query_id = r.u64();
+    m.from_region = r.region_id();
+    m.payload = r.string();
+    return m;
+  }
+};
+
+/// Standing continuous query over an area, active for `duration` seconds.
+struct Subscribe {
+  static constexpr MsgType kType = MsgType::kSubscribe;
+  std::uint64_t sub_id = 0;
+  NodeInfo subscriber;
+  Rect area;
+  std::string filter;
+  double duration = 0.0;
+  bool disseminated = false;
+
+  void encode(Writer& w) const {
+    w.u64(sub_id);
+    subscriber.encode(w);
+    w.rect(area);
+    w.string(filter);
+    w.f64(duration);
+    w.boolean(disseminated);
+  }
+  static Subscribe decode(Reader& r) {
+    Subscribe m;
+    m.sub_id = r.u64();
+    m.subscriber = NodeInfo::decode(r);
+    m.area = r.rect();
+    m.filter = r.string();
+    m.duration = r.f64();
+    m.disseminated = r.boolean();
+    return m;
+  }
+};
+
+struct SubscribeAck {
+  static constexpr MsgType kType = MsgType::kSubscribeAck;
+  std::uint64_t sub_id = 0;
+  RegionId region;
+
+  void encode(Writer& w) const {
+    w.u64(sub_id);
+    w.region_id(region);
+  }
+  static SubscribeAck decode(Reader& r) {
+    SubscribeAck m;
+    m.sub_id = r.u64();
+    m.region = r.region_id();
+    return m;
+  }
+};
+
+/// An information source publishes a located datum (camera frame summary,
+/// parking-lot occupancy, ...). Routed to the covering region and matched
+/// against stored subscriptions there.
+struct Publish {
+  static constexpr MsgType kType = MsgType::kPublish;
+  Point location;
+  std::string topic;
+  std::string payload;
+
+  void encode(Writer& w) const {
+    w.point(location);
+    w.string(topic);
+    w.string(payload);
+  }
+  static Publish decode(Reader& r) {
+    Publish m;
+    m.location = r.point();
+    m.topic = r.string();
+    m.payload = r.string();
+    return m;
+  }
+};
+
+struct Notify {
+  static constexpr MsgType kType = MsgType::kNotify;
+  std::uint64_t sub_id = 0;
+  std::string topic;
+  std::string payload;
+
+  void encode(Writer& w) const {
+    w.u64(sub_id);
+    w.string(topic);
+    w.string(payload);
+  }
+  static Notify decode(Reader& r) {
+    Notify m;
+    m.sub_id = r.u64();
+    m.topic = r.string();
+    m.payload = r.string();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Envelope variant + framing.
+// ---------------------------------------------------------------------------
+
+using Message = std::variant<
+    BootstrapRegister, BootstrapEntryRequest, BootstrapEntryReply,
+    JoinRequest, JoinProbeReply, SecondaryJoinRequest, SplitJoinRequest,
+    JoinGrant, JoinReject, NeighborUpdate, NeighborRemove, LeaveNotice,
+    TakeoverNotice, RegionHandoff, Heartbeat, HeartbeatAck, SyncState,
+    LoadStatsExchange, StealSecondaryRequest, StealSecondaryGrant,
+    StealSecondaryReject, SwitchRequest, SwitchGrant, SwitchReject,
+    MergeRequest, MergeGrant, MergeReject, SplitRegionNotice,
+    TtlSearchRequest, TtlSearchReply, OwnerProbe, Routed, LocationQuery,
+    QueryResult, Subscribe, SubscribeAck, Publish, Notify>;
+
+/// Wire tag of a message held in the variant.
+MsgType message_type(const Message& m);
+
+/// Human-readable name of the message type (for traces and stats).
+std::string_view message_name(MsgType type);
+
+/// Frames a message as [u16 type][payload].
+std::vector<std::byte> encode_message(const Message& m);
+
+/// Parses a framed message; throws CodecError on malformed input.
+Message decode_message(const std::byte* data, std::size_t size);
+Message decode_message(const std::vector<std::byte>& bytes);
+
+/// Encoded wire size of a message, plus a fixed per-packet overhead that
+/// stands in for UDP/IP headers in the traffic accounting.
+inline constexpr std::size_t kPacketOverheadBytes = 28;
+std::size_t wire_size(const Message& m);
+
+/// Wraps a message into a Routed envelope addressed at `target`.
+Routed make_routed(const Point& target, const Message& inner);
+
+/// Unwraps the inner message of a Routed envelope.
+Message unwrap_routed(const Routed& r);
+
+}  // namespace geogrid::net

@@ -1,0 +1,87 @@
+// Shared protocol descriptors.
+//
+// NodeInfo is the paper's five-attribute node identity
+// <x, y, IP, port, properties>; the simulated transport uses NodeId as the
+// address, and `capacity` is the one property GeoGrid itself consumes (the
+// node's available network bandwidth, in normalized units).  RegionSnapshot
+// is what a node knows about a region other than its own: the rectangle plus
+// the ownership/capacity/load facts that the join-probing and load-balance
+// rules consume.  Snapshots travel in neighbor lists, probe responses, load
+// stats and TTL search replies.
+#pragma once
+
+#include <optional>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "net/codec.h"
+
+namespace geogrid::net {
+
+/// Identity and service properties of a GeoGrid node.
+struct NodeInfo {
+  NodeId id{};
+  Point coord{};         ///< geographic position of the node (GPS)
+  double capacity = 1.0; ///< total capacity the node dedicates to GeoGrid
+
+  friend bool operator==(const NodeInfo&, const NodeInfo&) = default;
+
+  void encode(Writer& w) const {
+    w.node_id(id);
+    w.point(coord);
+    w.f64(capacity);
+  }
+  static NodeInfo decode(Reader& r) {
+    NodeInfo info;
+    info.id = r.node_id();
+    info.coord = r.point();
+    info.capacity = r.f64();
+    return info;
+  }
+};
+
+/// A node's view of one region: geometry, owners, and load facts.
+struct RegionSnapshot {
+  RegionId region{};
+  Rect rect{};
+  NodeInfo primary{};
+  std::optional<NodeInfo> secondary{};
+  double load = 0.0;            ///< current workload mapped to the region
+  double workload_index = 0.0;  ///< load / primary capacity
+  int split_depth = 0;          ///< number of splits from the root region
+
+  bool full() const noexcept { return secondary.has_value(); }
+
+  /// Available capacity of the primary owner (capacity minus load, floored
+  /// at zero) — the quantity the dual-peer join rule minimizes.
+  double primary_available() const noexcept {
+    const double avail = primary.capacity - load;
+    return avail > 0.0 ? avail : 0.0;
+  }
+
+  friend bool operator==(const RegionSnapshot&, const RegionSnapshot&) = default;
+
+  void encode(Writer& w) const {
+    w.region_id(region);
+    w.rect(rect);
+    primary.encode(w);
+    w.boolean(secondary.has_value());
+    if (secondary) secondary->encode(w);
+    w.f64(load);
+    w.f64(workload_index);
+    w.varint(static_cast<std::uint64_t>(split_depth));
+  }
+  static RegionSnapshot decode(Reader& r) {
+    RegionSnapshot s;
+    s.region = r.region_id();
+    s.rect = r.rect();
+    s.primary = NodeInfo::decode(r);
+    if (r.boolean()) s.secondary = NodeInfo::decode(r);
+    s.load = r.f64();
+    s.workload_index = r.f64();
+    s.split_depth = static_cast<int>(r.varint());
+    return s;
+  }
+};
+
+}  // namespace geogrid::net

@@ -1,0 +1,55 @@
+// Basic GeoGrid membership operations (engine mode).
+//
+// The basic system of §2.1-2.2: a joining node routes to the region
+// covering its coordinate and splits it in half; a departing or failed node
+// leaves its region to be repaired by the overlay.  The paper does not spell
+// out the basic repair procedure ("the repairing process of the basic
+// GeoGrid network will be triggered"); we use the CAN-style rule it builds
+// on: merge the orphaned region into an adjacent region when the union is a
+// rectangle, otherwise the neighbor's owner with the smallest total area
+// takes it over as caretaker (owning two rectangles until a later merge
+// restores one-region-per-node).
+#pragma once
+
+#include "common/ids.h"
+#include "net/node_info.h"
+#include "overlay/partition.h"
+#include "overlay/router.h"
+
+namespace geogrid::overlay {
+
+/// Outcome of a join.
+struct JoinResult {
+  RegionId region = kInvalidRegion;  ///< region the joiner ended up owning
+  std::uint32_t routing_hops = 0;    ///< hops the join request traveled
+};
+
+/// Basic join: adds `joiner` to the node table, routes from `entry_region`
+/// to the region covering the joiner's coordinate, splits it, and assigns
+/// the joiner the half not kept by the incumbent.  With an empty partition
+/// the joiner founds the root region.
+JoinResult basic_join(Partition& partition, const net::NodeInfo& joiner,
+                      RegionId entry_region = kInvalidRegion);
+
+/// CAN-style baseline join (for comparison benches): instead of mapping the
+/// joiner to the region covering its *own* coordinate — GeoGrid's
+/// geographic mapping — the joiner splits the region covering a uniformly
+/// random point, exactly like CAN's bootstrap.  Region sizes then ignore
+/// node geography entirely, which is the behavior GeoGrid's design argues
+/// against.
+JoinResult can_join(Partition& partition, const net::NodeInfo& joiner,
+                    const Point& random_point,
+                    RegionId entry_region = kInvalidRegion);
+
+/// Basic graceful departure / failure repair: every region owned by `node`
+/// (primary seat; basic mode has no secondaries) is merged into a mergeable
+/// neighbor when possible, otherwise handed to the caretaker described
+/// above.  The node is then removed from the table.
+void basic_leave(Partition& partition, NodeId node);
+
+/// Repairs one orphaned region whose primary owner is gone, without
+/// touching the node table: merge if possible, else caretaker handoff.
+/// `exclude` is the departing owner (never selected as caretaker).
+void repair_region(Partition& partition, RegionId region, NodeId exclude);
+
+}  // namespace geogrid::overlay

@@ -1,0 +1,31 @@
+// Snapshot construction.
+//
+// RegionSnapshot is the unit of knowledge that travels between nodes (probe
+// replies, neighbor lists, load gossip).  Engine mode builds snapshots
+// straight from the Partition; protocol mode builds them from a node's own
+// region state.  LoadFn abstracts where load numbers come from — the
+// hot-spot field in engine mode, measured query counts in protocol mode.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/node_info.h"
+#include "overlay/partition.h"
+
+namespace geogrid::overlay {
+
+/// Current load of a region (by id).
+using LoadFn = std::function<double(RegionId)>;
+
+/// Builds the snapshot of one region, with load and workload index filled
+/// from `load_of`.
+net::RegionSnapshot make_snapshot(const Partition& partition, RegionId id,
+                                  const LoadFn& load_of);
+
+/// Snapshots of all neighbors of `id`.
+std::vector<net::RegionSnapshot> neighbor_snapshots(const Partition& partition,
+                                                    RegionId id,
+                                                    const LoadFn& load_of);
+
+}  // namespace geogrid::overlay

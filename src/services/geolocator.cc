@@ -1,0 +1,23 @@
+#include "services/geolocator.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace geogrid::services {
+
+Point Geolocator::locate(const Point& truth) {
+  if (options_.max_error_miles <= 0.0) return plane_.clamp(truth);
+  const double angle = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const double radius = options_.max_error_miles * std::sqrt(rng_.uniform());
+  return plane_.clamp(Point{truth.x + radius * std::cos(angle),
+                            truth.y + radius * std::sin(angle)});
+}
+
+Point Geolocator::random_position() {
+  // Strictly interior draw so the half-open cover test is unambiguous even
+  // on the plane's west/south border.
+  return Point{rng_.uniform(plane_.x + kGeoEps * 2.0, plane_.right()),
+               rng_.uniform(plane_.y + kGeoEps * 2.0, plane_.top())};
+}
+
+}  // namespace geogrid::services

@@ -1,0 +1,41 @@
+// Simulated geolocation (GPS / GeoLIM substitute).
+//
+// The paper assumes every node can learn its geographic coordinate via GPS
+// or constraint-based geolocation (GeoLIM).  We model that service as the
+// node's true position plus an optional bounded error, clamped to the plane.
+// Error matters: constraint-based geolocation of Internet hosts is tens of
+// miles off, and a misplaced node joins a region it does not physically
+// occupy — tests use this to show GeoGrid still partitions correctly.
+#pragma once
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace geogrid::services {
+
+class Geolocator {
+ public:
+  struct Options {
+    double max_error_miles = 0.0;  ///< 0 = perfect GPS
+  };
+
+  Geolocator(Rect plane, Options options, Rng rng)
+      : plane_(plane), options_(options), rng_(rng) {}
+
+  /// Reported position for a node whose true position is `truth`: truth
+  /// plus a uniform offset within the error radius, clamped to the plane.
+  Point locate(const Point& truth);
+
+  /// Draws a uniformly random true position on the plane (used by harnesses
+  /// to place nodes).
+  Point random_position();
+
+  const Rect& plane() const noexcept { return plane_; }
+
+ private:
+  Rect plane_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace geogrid::services

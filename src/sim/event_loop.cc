@@ -1,0 +1,44 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+
+namespace geogrid::sim {
+
+EventHandle EventLoop::schedule_at(Time at, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn), alive});
+  ++live_;
+  return EventHandle(std::move(alive));
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    // The queue is a value heap, so move the top out via const_cast-free
+    // copy of the small members and a move of the closure.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    --live_;
+    if (!*ev.alive) continue;  // cancelled
+    *ev.alive = false;
+    now_ = ev.at;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void EventLoop::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace geogrid::sim

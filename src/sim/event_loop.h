@@ -1,0 +1,84 @@
+// Discrete-event simulation kernel.
+//
+// The protocol-mode GeoGrid runs entirely inside this single-threaded event
+// loop: message deliveries, heartbeat timers, adaptation rounds and hot-spot
+// epochs are all events on one virtual-time queue.  Determinism rules:
+// events fire in (time, insertion-sequence) order, so two events scheduled
+// for the same instant fire in the order they were scheduled, making every
+// simulation bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace geogrid::sim {
+
+/// Simulated time in seconds since simulation start.
+using Time = double;
+
+/// Cancellation handle for a scheduled event (cheap to copy; cancelling a
+/// fired or already-cancelled event is a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+  bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Single-threaded virtual-time event queue.
+class EventLoop {
+ public:
+  Time now() const noexcept { return now_; }
+  std::size_t pending() const noexcept { return live_; }
+  std::uint64_t fired() const noexcept { return fired_; }
+
+  /// Schedules `fn` to run at absolute time `at` (clamped to now).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now.
+  EventHandle schedule_after(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Fires the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` fire.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with time <= deadline; the clock ends at `deadline`.
+  void run_until(Time deadline);
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::size_t live_ = 0;  ///< scheduled and not yet fired/cancelled
+};
+
+}  // namespace geogrid::sim

@@ -1,0 +1,45 @@
+#include "workload/capacity.h"
+
+#include <cassert>
+
+namespace geogrid::workload {
+
+CapacityDistribution::CapacityDistribution(std::vector<CapacityTier> tiers)
+    : tiers_(std::move(tiers)) {
+  assert(!tiers_.empty());
+  double total = 0.0;
+  for (const auto& t : tiers_) {
+    assert(t.probability >= 0.0 && t.capacity > 0.0);
+    total += t.probability;
+  }
+  assert(total > 0.0);
+  weights_.reserve(tiers_.size());
+  for (auto& t : tiers_) {
+    t.probability /= total;
+    weights_.push_back(t.probability);
+  }
+}
+
+CapacityDistribution CapacityDistribution::gnutella() {
+  return CapacityDistribution({{1.0, 0.20},
+                               {10.0, 0.45},
+                               {100.0, 0.30},
+                               {1000.0, 0.049},
+                               {10000.0, 0.001}});
+}
+
+CapacityDistribution CapacityDistribution::homogeneous(double capacity) {
+  return CapacityDistribution({{capacity, 1.0}});
+}
+
+double CapacityDistribution::sample(Rng& rng) const {
+  return tiers_[rng.weighted_index(weights_)].capacity;
+}
+
+double CapacityDistribution::mean() const noexcept {
+  double m = 0.0;
+  for (const auto& t : tiers_) m += t.capacity * t.probability;
+  return m;
+}
+
+}  // namespace geogrid::workload

@@ -1,0 +1,49 @@
+// Node capacity model.
+//
+// The paper draws proxy capacities from "a skewed distribution based on a
+// measurement study of Gnutella P2P network" (Saroiu et al., MMCN'02).  The
+// standard discretization of that measurement — used by Gia, Chord load
+// studies and others — puts peers in decade-wide bandwidth tiers spanning
+// five orders of magnitude.  CapacityDistribution is that tiered PMF, fully
+// configurable; `gnutella()` is the default used throughout the evaluation.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace geogrid::workload {
+
+/// One capacity tier: a capacity value and its probability mass.
+struct CapacityTier {
+  double capacity = 1.0;
+  double probability = 1.0;
+};
+
+/// Discrete skewed capacity distribution.
+class CapacityDistribution {
+ public:
+  /// Builds from tiers; probabilities are normalized to sum to one.
+  /// Precondition: at least one tier, all masses >= 0, sum > 0.
+  explicit CapacityDistribution(std::vector<CapacityTier> tiers);
+
+  /// Gnutella-derived default: tiers {1, 10, 100, 1000, 10000} with masses
+  /// {20%, 45%, 30%, 4.9%, 0.1%}.
+  static CapacityDistribution gnutella();
+
+  /// Degenerate distribution (homogeneous capacities) for ablations.
+  static CapacityDistribution homogeneous(double capacity = 1.0);
+
+  double sample(Rng& rng) const;
+
+  const std::vector<CapacityTier>& tiers() const noexcept { return tiers_; }
+
+  /// Expected capacity.
+  double mean() const noexcept;
+
+ private:
+  std::vector<CapacityTier> tiers_;
+  std::vector<double> weights_;
+};
+
+}  // namespace geogrid::workload

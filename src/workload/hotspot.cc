@@ -1,0 +1,148 @@
+#include "workload/hotspot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace geogrid::workload {
+
+HotSpotField::HotSpotField(Options options, Rng& rng)
+    : options_(options) {
+  assert(options_.cells_x > 0 && options_.cells_y > 0);
+  assert(options_.min_radius > 0.0 &&
+         options_.max_radius >= options_.min_radius);
+  cell_w_ = options_.plane.width / static_cast<double>(options_.cells_x);
+  cell_h_ = options_.plane.height / static_cast<double>(options_.cells_y);
+  hotspots_.reserve(options_.hotspot_count);
+  for (std::size_t i = 0; i < options_.hotspot_count; ++i) {
+    hotspots_.push_back(HotSpot{
+        Point{rng.uniform(options_.plane.x, options_.plane.right()),
+              rng.uniform(options_.plane.y, options_.plane.top())},
+        rng.uniform(options_.min_radius, options_.max_radius)});
+  }
+  rebuild();
+}
+
+void HotSpotField::migrate(Rng& rng) {
+  for (auto& h : hotspots_) {
+    const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double step = rng.uniform(0.0, 2.0 * h.radius);
+    double nx = h.center.x + step * std::cos(angle);
+    double ny = h.center.y + step * std::sin(angle);
+    // Reflect at the plane boundary so hot spots stay in the service area.
+    const auto reflect = [](double v, double lo, double hi) {
+      while (v < lo || v > hi) {
+        if (v < lo) v = lo + (lo - v);
+        if (v > hi) v = hi - (v - hi);
+      }
+      return v;
+    };
+    h.center.x = reflect(nx, options_.plane.x, options_.plane.right());
+    h.center.y = reflect(ny, options_.plane.y, options_.plane.top());
+  }
+  rebuild();
+}
+
+void HotSpotField::migrate(Rng& rng, std::size_t steps) {
+  for (std::size_t i = 0; i < steps; ++i) migrate(rng);
+}
+
+double HotSpotField::at(const Point& p) const noexcept {
+  double v = 0.0;
+  for (const auto& h : hotspots_) v += h.intensity_at(p);
+  return v;
+}
+
+Point HotSpotField::cell_center(std::size_t ix, std::size_t iy) const noexcept {
+  return Point{options_.plane.x + (static_cast<double>(ix) + 0.5) * cell_w_,
+               options_.plane.y + (static_cast<double>(iy) + 0.5) * cell_h_};
+}
+
+double HotSpotField::cell_workload(std::size_t ix, std::size_t iy) const {
+  assert(ix < options_.cells_x && iy < options_.cells_y);
+  const std::size_t stride = options_.cells_y + 1;
+  return prefix_[(ix + 1) * stride + (iy + 1)] -
+         prefix_[ix * stride + (iy + 1)] -
+         prefix_[(ix + 1) * stride + iy] + prefix_[ix * stride + iy];
+}
+
+void HotSpotField::rebuild() {
+  const std::size_t nx = options_.cells_x;
+  const std::size_t ny = options_.cells_y;
+  const std::size_t stride = ny + 1;
+  prefix_.assign((nx + 1) * stride, 0.0);
+  cell_cdf_.assign(nx * ny, 0.0);
+  double cumulative = 0.0;
+  const double cell_area = cell_w_ * cell_h_;
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      // Cell workload = field intensity integrated over the cell, so region
+      // loads are independent of raster resolution (finer grids refine the
+      // same integral instead of inflating sums).
+      const double w = at(cell_center(ix, iy)) * cell_area;
+      prefix_[(ix + 1) * stride + (iy + 1)] =
+          w + prefix_[ix * stride + (iy + 1)] +
+          prefix_[(ix + 1) * stride + iy] - prefix_[ix * stride + iy];
+      cumulative += w;
+      cell_cdf_[ix * ny + iy] = cumulative;
+    }
+  }
+}
+
+double HotSpotField::region_load(const Rect& rect) const noexcept {
+  // Cells whose center c satisfies rect.x < c.x <= rect.right() (half-open,
+  // matching the region cover test).  Center of cell i is at
+  // plane.x + (i + 0.5) * cell_w, so the index window is
+  //   i > (rect.x - plane.x)/cell_w - 0.5   and
+  //   i <= (rect.right - plane.x)/cell_w - 0.5.
+  const auto lo_index = [](double offset, double cell) {
+    return static_cast<std::ptrdiff_t>(
+        std::floor(offset / cell - 0.5 + 1e-9)) + 1;
+  };
+  const auto hi_index = [](double offset, double cell) {
+    return static_cast<std::ptrdiff_t>(std::floor(offset / cell - 0.5 + 1e-9));
+  };
+  const std::ptrdiff_t x0 = std::clamp<std::ptrdiff_t>(
+      lo_index(rect.x - options_.plane.x, cell_w_), 0,
+      static_cast<std::ptrdiff_t>(options_.cells_x));
+  const std::ptrdiff_t x1 = std::clamp<std::ptrdiff_t>(
+      hi_index(rect.right() - options_.plane.x, cell_w_) + 1, 0,
+      static_cast<std::ptrdiff_t>(options_.cells_x));
+  const std::ptrdiff_t y0 = std::clamp<std::ptrdiff_t>(
+      lo_index(rect.y - options_.plane.y, cell_h_), 0,
+      static_cast<std::ptrdiff_t>(options_.cells_y));
+  const std::ptrdiff_t y1 = std::clamp<std::ptrdiff_t>(
+      hi_index(rect.top() - options_.plane.y, cell_h_) + 1, 0,
+      static_cast<std::ptrdiff_t>(options_.cells_y));
+  if (x0 >= x1 || y0 >= y1) return 0.0;
+  const std::size_t stride = options_.cells_y + 1;
+  const auto ux0 = static_cast<std::size_t>(x0);
+  const auto ux1 = static_cast<std::size_t>(x1);
+  const auto uy0 = static_cast<std::size_t>(y0);
+  const auto uy1 = static_cast<std::size_t>(y1);
+  return prefix_[ux1 * stride + uy1] - prefix_[ux0 * stride + uy1] -
+         prefix_[ux1 * stride + uy0] + prefix_[ux0 * stride + uy0];
+}
+
+Point HotSpotField::sample_weighted_point(Rng& rng) const {
+  const double total = cell_cdf_.empty() ? 0.0 : cell_cdf_.back();
+  const std::size_t ny = options_.cells_y;
+  if (total <= 0.0) {
+    return Point{rng.uniform(options_.plane.x, options_.plane.right()),
+                 rng.uniform(options_.plane.y, options_.plane.top())};
+  }
+  const double draw = rng.uniform(0.0, total);
+  const auto it =
+      std::upper_bound(cell_cdf_.begin(), cell_cdf_.end(), draw);
+  const auto flat = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cell_cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cell_cdf_.size()) - 1));
+  const std::size_t ix = flat / ny;
+  const std::size_t iy = flat % ny;
+  // Uniform point inside the chosen cell.
+  return Point{options_.plane.x + (static_cast<double>(ix) + rng.uniform()) * cell_w_,
+               options_.plane.y + (static_cast<double>(iy) + rng.uniform()) * cell_h_};
+}
+
+}  // namespace geogrid::workload

@@ -1,0 +1,104 @@
+// Hot-spot workload field.
+//
+// The paper's workload model (§3.1): the plane is rasterized into cells;
+// each hot spot is a circle whose center cell has normalized workload 1 and
+// whose border cells have workload 0, with linear falloff 1 - d/r in
+// between.  Hot spots start with a random radius in [0.1, 10] miles and, at
+// the end of every epoch, migrate along a random direction with a step size
+// uniform in (0, 2r).  A region's load is the sum of the workloads of the
+// cells it covers; a node's workload index is its regions' load divided by
+// its capacity.
+//
+// The field keeps a summed-area table over the raster so region loads are
+// O(1) per query — the adaptation planner evaluates many candidate regions
+// per round.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace geogrid::workload {
+
+/// One circular hot spot.
+struct HotSpot {
+  Point center{};
+  double radius = 1.0;
+
+  /// Normalized workload contribution at `p`: 1 at the center, 0 at and
+  /// beyond the border, linear in between.
+  double intensity_at(const Point& p) const noexcept {
+    const double d = distance(center, p);
+    return d >= radius ? 0.0 : 1.0 - d / radius;
+  }
+};
+
+/// The rasterized, multi-hot-spot workload field.
+class HotSpotField {
+ public:
+  struct Options {
+    Rect plane{0.0, 0.0, 64.0, 64.0};  ///< the paper's 64 x 64 mile area
+    std::size_t cells_x = 256;
+    std::size_t cells_y = 256;
+    std::size_t hotspot_count = 8;
+    double min_radius = 0.1;  ///< miles, paper's lower bound
+    double max_radius = 10.0; ///< miles, paper's upper bound
+  };
+
+  /// Creates `hotspot_count` hot spots at uniform random centers with
+  /// radius U(min_radius, max_radius) and rasterizes the field.
+  HotSpotField(Options options, Rng& rng);
+
+  /// Migrates every hot spot one epoch: random direction, step U(0, 2r),
+  /// reflected at the plane boundary; then re-rasterizes.
+  void migrate(Rng& rng);
+
+  /// Migrates `steps` epochs at once (the paper's moving-hot-spot scenario
+  /// advances hot spots 4-10 steps per adaptation round).
+  void migrate(Rng& rng, std::size_t steps);
+
+  /// Field value at a point (sum over hot spots, no rasterization).
+  double at(const Point& p) const noexcept;
+
+  /// Workload of one raster cell: the field intensity at the cell center
+  /// times the cell area (i.e. the integral of the field over the cell),
+  /// so workloads are independent of raster resolution.
+  double cell_workload(std::size_t ix, std::size_t iy) const;
+
+  /// Sum of cell workloads for cells whose centers the rect covers
+  /// (half-open cover, matching region semantics) — the integral of the
+  /// hot-spot field over the region. O(1) via prefix sums.
+  double region_load(const Rect& rect) const noexcept;
+
+  /// Total workload over the whole plane.
+  double total_load() const noexcept { return region_load(options_.plane); }
+
+  /// Samples a point with probability proportional to cell workload; falls
+  /// back to uniform when the field is everywhere zero.  Used by query
+  /// generators so query traffic concentrates on hot spots.
+  Point sample_weighted_point(Rng& rng) const;
+
+  const std::vector<HotSpot>& hotspots() const noexcept { return hotspots_; }
+  std::vector<HotSpot>& mutable_hotspots() noexcept { return hotspots_; }
+  const Options& options() const noexcept { return options_; }
+  const Rect& plane() const noexcept { return options_.plane; }
+
+  /// Re-rasterizes after external mutation of the hot spots.
+  void rebuild();
+
+ private:
+  Point cell_center(std::size_t ix, std::size_t iy) const noexcept;
+
+  Options options_;
+  std::vector<HotSpot> hotspots_;
+  /// prefix_[(ix+1) * (cells_y+1) + (iy+1)] = sum of cell workloads with
+  /// index <= (ix, iy) in both dimensions.
+  std::vector<double> prefix_;
+  std::vector<double> cell_cdf_;  ///< for weighted point sampling
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+};
+
+}  // namespace geogrid::workload

@@ -1,0 +1,50 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+namespace geogrid::workload {
+
+Rect QueryGenerator::next_area() {
+  const Point center = rng_.chance(options_.background_fraction)
+                           ? Point{rng_.uniform(field_.plane().x,
+                                                field_.plane().right()),
+                                   rng_.uniform(field_.plane().y,
+                                                field_.plane().top())}
+                           : field_.sample_weighted_point(rng_);
+  const double radius =
+      rng_.uniform(options_.min_radius_miles, options_.max_radius_miles);
+  // Circle of radius γ -> rectangle (x, y, 2γ, 2γ) anchored so the circle
+  // center is the rectangle center, clipped to the plane.
+  const Rect& plane = field_.plane();
+  const double x = std::clamp(center.x - radius, plane.x, plane.right());
+  const double y = std::clamp(center.y - radius, plane.y, plane.top());
+  const double w = std::min(2.0 * radius, plane.right() - x);
+  const double h = std::min(2.0 * radius, plane.top() - y);
+  return Rect{x, y, w, h};
+}
+
+net::LocationQuery QueryGenerator::next_query(const net::NodeInfo& focal) {
+  net::LocationQuery q;
+  q.query_id = ++next_id_;
+  q.focal = focal;
+  q.area = next_area();
+  q.filter = options_.topics.empty()
+                 ? std::string{}
+                 : options_.topics[rng_.uniform_index(options_.topics.size())];
+  return q;
+}
+
+net::Subscribe QueryGenerator::next_subscription(
+    const net::NodeInfo& subscriber, double duration_seconds) {
+  net::Subscribe s;
+  s.sub_id = ++next_id_;
+  s.subscriber = subscriber;
+  s.area = next_area();
+  s.filter = options_.topics.empty()
+                 ? std::string{}
+                 : options_.topics[rng_.uniform_index(options_.topics.size())];
+  s.duration = duration_seconds;
+  return s;
+}
+
+}  // namespace geogrid::workload

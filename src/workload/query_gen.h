@@ -1,0 +1,55 @@
+// Location-query workload generator.
+//
+// End-user requests in GeoGrid carry a rectangular spatial area (a circular
+// radius-γ query maps to a (x, y, 2γ, 2γ) rectangle).  The generator draws
+// query centers proportionally to the hot-spot field — so query traffic
+// concentrates where the paper's Super-Bowl-parking narrative says it does —
+// with radii drawn from a configurable range, and stamps each query with a
+// filter condition drawn from a topic vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "net/messages.h"
+#include "workload/hotspot.h"
+
+namespace geogrid::workload {
+
+class QueryGenerator {
+ public:
+  struct Options {
+    double min_radius_miles = 0.25;
+    double max_radius_miles = 2.0;
+    /// Probability that a query ignores the hot spots (uniform background
+    /// traffic).
+    double background_fraction = 0.1;
+    std::vector<std::string> topics = {"traffic", "parking", "gas", "events"};
+  };
+
+  QueryGenerator(const HotSpotField& field, Options options, Rng rng)
+      : field_(field), options_(options), rng_(rng) {}
+
+  /// Draws the spatial area of the next query.
+  Rect next_area();
+
+  /// Builds a complete LocationQuery issued by `focal`.
+  net::LocationQuery next_query(const net::NodeInfo& focal);
+
+  /// Builds a standing subscription (continuous query) for `subscriber`.
+  net::Subscribe next_subscription(const net::NodeInfo& subscriber,
+                                   double duration_seconds);
+
+  std::uint64_t issued() const noexcept { return next_id_; }
+
+ private:
+  const HotSpotField& field_;
+  Options options_;
+  Rng rng_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace geogrid::workload

@@ -1,0 +1,94 @@
+// Property suite: every executed adaptation is locally safe — it never
+// raises the worst workload index among the nodes it touches — and the
+// partition invariants survive arbitrarily long adaptation histories with
+// moving hot spots.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "loadbalance/workload_index.h"
+
+namespace geogrid::loadbalance {
+namespace {
+
+class AdaptationProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  core::SimulationOptions options() const {
+    core::SimulationOptions opt;
+    opt.mode = core::GridMode::kDualPeerAdaptive;
+    opt.node_count = 250;
+    opt.seed = GetParam();
+    opt.field.cells_x = 128;
+    opt.field.cells_y = 128;
+    return opt;
+  }
+};
+
+TEST_P(AdaptationProperties, StepsNeverWorsenTouchedNodes) {
+  core::GridSimulation sim(options());
+  const auto load = sim.load_fn();
+
+  for (int step = 0; step < 120; ++step) {
+    // Pre-compute the indexes of every node (cheap at this scale).
+    overlay::Partition& p = sim.partition();
+
+    // Snapshot owner indexes before the step.
+    std::unordered_map<NodeId, double> before;
+    for (const auto& [id, info] : p.nodes()) {
+      before[id] = node_index(p, load, id);
+    }
+
+    const auto plan = sim.driver().step();
+    if (!plan) break;
+
+    // Owners of the touched regions after execution.
+    std::vector<NodeId> touched;
+    for (const RegionId rid : {plan->subject, plan->partner}) {
+      if (!rid.valid() || !p.has_region(rid)) continue;
+      touched.push_back(p.region(rid).primary);
+      if (p.region(rid).secondary) touched.push_back(*p.region(rid).secondary);
+    }
+    ASSERT_FALSE(touched.empty());
+    double before_max = 0.0;
+    double after_max = 0.0;
+    for (const NodeId n : touched) {
+      if (auto it = before.find(n); it != before.end()) {
+        before_max = std::max(before_max, it->second);
+      }
+      after_max = std::max(after_max, node_index(p, load, n));
+    }
+    EXPECT_LE(after_max, before_max + 1e-9)
+        << "mechanism " << mechanism_name(plan->mechanism) << " at step "
+        << step;
+    ASSERT_TRUE(p.validate_fast().empty());
+  }
+}
+
+TEST_P(AdaptationProperties, LongHistoriesWithMovingHotspotsStaySound) {
+  core::GridSimulation sim(options());
+  for (int round = 0; round < 30; ++round) {
+    sim.migrate_hotspots(1 + static_cast<std::size_t>(round % 4));
+    sim.driver().run_round();
+    ASSERT_TRUE(sim.partition().validate_fast().empty()) << round;
+  }
+  EXPECT_TRUE(sim.partition().validate().empty());
+}
+
+TEST_P(AdaptationProperties, ConvergedSystemsStayConverged) {
+  core::GridSimulation sim(options());
+  for (int i = 0; i < 25; ++i) {
+    if (sim.driver().run_round().executed == 0) break;
+  }
+  const Summary converged = sim.workload_summary();
+  // With static hot spots, further rounds change nothing.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sim.driver().run_round().executed, 0u);
+  }
+  const Summary still = sim.workload_summary();
+  EXPECT_DOUBLE_EQ(converged.stddev, still.stddev);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptationProperties,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace geogrid::loadbalance

@@ -1,0 +1,130 @@
+// Basic GeoGrid membership: join splits the covering region; leave repairs.
+#include "overlay/basic_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "overlay/partition.h"
+
+namespace geogrid::overlay {
+namespace {
+
+const Rect kPlane{0, 0, 64, 64};
+
+net::NodeInfo make_node(std::uint32_t id, double x, double y,
+                        double capacity = 10.0) {
+  net::NodeInfo n;
+  n.id = NodeId{id};
+  n.coord = Point{x, y};
+  n.capacity = capacity;
+  return n;
+}
+
+TEST(BasicJoin, FirstNodeFoundsGrid) {
+  Partition p(kPlane);
+  const auto r = basic_join(p, make_node(1, 10, 10));
+  EXPECT_EQ(p.region_count(), 1u);
+  EXPECT_EQ(p.region(r.region).rect, kPlane);
+  EXPECT_EQ(r.routing_hops, 0u);
+}
+
+TEST(BasicJoin, JoinerOwnsRegionCoveringItsCoordinate) {
+  Partition p(kPlane);
+  basic_join(p, make_node(1, 10, 10));
+  const auto r2 = basic_join(p, make_node(2, 10, 50));
+  EXPECT_TRUE(p.region(r2.region).rect.covers(Point{10, 50}));
+  EXPECT_EQ(p.region(r2.region).primary, (NodeId{2}));
+}
+
+TEST(BasicJoin, SameHalfJoinStillSplits) {
+  Partition p(kPlane);
+  basic_join(p, make_node(1, 10, 10));
+  // Joiner lands in the same (south) half as the incumbent: the incumbent
+  // keeps its covering half, the joiner takes the other.
+  const auto r2 = basic_join(p, make_node(2, 12, 12));
+  EXPECT_EQ(p.region_count(), 2u);
+  EXPECT_EQ(p.region(r2.region).rect, (Rect{0, 32, 64, 32}));
+}
+
+TEST(BasicJoin, NNodesNRegions) {
+  Partition p(kPlane);
+  Rng rng(3);
+  for (std::uint32_t i = 1; i <= 100; ++i) {
+    basic_join(p, make_node(i, rng.uniform(0.01, 64), rng.uniform(0.01, 64)));
+  }
+  EXPECT_EQ(p.region_count(), 100u);
+  EXPECT_EQ(p.node_count(), 100u);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(BasicLeave, MergeWithSibling) {
+  Partition p(kPlane);
+  basic_join(p, make_node(1, 10, 10));
+  basic_join(p, make_node(2, 10, 50));
+  basic_leave(p, NodeId{2});
+  EXPECT_EQ(p.region_count(), 1u);
+  EXPECT_EQ(p.node_count(), 1u);
+  EXPECT_EQ(p.regions().begin()->second.rect, kPlane);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(BasicLeave, CaretakerTakesUnmergeableRegion) {
+  Partition p(kPlane);
+  basic_join(p, make_node(1, 10, 10));   // SW after splits
+  basic_join(p, make_node(2, 10, 50));   // N half
+  basic_join(p, make_node(3, 50, 10));   // SE quarter
+  // Now: r1=<0,0,32,32>, r3=<32,0,32,32>, r2=<0,32,64,32>.
+  // Node 2's region cannot merge with either quarter -> caretaker.
+  basic_leave(p, NodeId{2});
+  EXPECT_EQ(p.region_count(), 3u);  // region survives under a caretaker
+  EXPECT_EQ(p.node_count(), 2u);
+  for (const auto& [id, r] : p.regions()) {
+    EXPECT_NE(r.primary, (NodeId{2}));
+  }
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(BasicLeave, LastNodeRetiresGrid) {
+  Partition p(kPlane);
+  basic_join(p, make_node(1, 10, 10));
+  basic_leave(p, NodeId{1});
+  EXPECT_EQ(p.region_count(), 0u);
+  EXPECT_EQ(p.node_count(), 0u);
+}
+
+TEST(BasicLeave, RandomChurnPreservesInvariants) {
+  Partition p(kPlane);
+  Rng rng(11);
+  std::vector<std::uint32_t> alive;
+  std::uint32_t next_id = 1;
+  for (int step = 0; step < 300; ++step) {
+    const bool join = alive.size() < 3 || rng.chance(0.6);
+    if (join) {
+      const auto id = next_id++;
+      basic_join(p,
+                 make_node(id, rng.uniform(0.01, 64), rng.uniform(0.01, 64)));
+      alive.push_back(id);
+    } else {
+      const auto idx = rng.uniform_index(alive.size());
+      basic_leave(p, NodeId{alive[idx]});
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_TRUE(p.validate_fast().empty()) << "step " << step;
+  }
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_EQ(p.node_count(), alive.size());
+}
+
+TEST(RepairRegion, PromotesSurvivingSecondary) {
+  Partition p(kPlane);
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 12, 12));
+  const RegionId root = p.create_root(NodeId{1});
+  p.set_secondary(root, NodeId{2});
+  repair_region(p, root, NodeId{1});
+  EXPECT_EQ(p.region(root).primary, (NodeId{2}));
+  EXPECT_FALSE(p.region(root).full());
+}
+
+}  // namespace
+}  // namespace geogrid::overlay

@@ -1,0 +1,81 @@
+// CAN-style random-split baseline: structural soundness plus the property
+// GeoGrid's geographic mapping is designed to provide and CAN lacks —
+// owners living inside (or next to) the regions they serve.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "overlay/basic_ops.h"
+
+namespace geogrid::core {
+namespace {
+
+SimulationOptions can_options(std::size_t nodes, std::uint64_t seed) {
+  SimulationOptions opt;
+  opt.mode = GridMode::kCanBaseline;
+  opt.node_count = nodes;
+  opt.seed = seed;
+  opt.field.cells_x = 64;
+  opt.field.cells_y = 64;
+  return opt;
+}
+
+TEST(CanBaseline, BuildsValidPartition) {
+  GridSimulation sim(can_options(300, 1));
+  EXPECT_EQ(sim.partition().region_count(), 300u);
+  EXPECT_TRUE(sim.partition().validate().empty());
+}
+
+TEST(CanBaseline, ChurnKeepsInvariants) {
+  GridSimulation sim(can_options(100, 2));
+  Rng rng(3);
+  std::vector<NodeId> alive;
+  for (const auto& [id, info] : sim.partition().nodes()) alive.push_back(id);
+  for (int step = 0; step < 150; ++step) {
+    if (alive.size() < 4 || rng.chance(0.6)) {
+      alive.push_back(sim.add_node());
+    } else {
+      const auto idx = rng.uniform_index(alive.size());
+      sim.remove_node(alive[idx], rng.chance(0.5));
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_TRUE(sim.partition().validate_fast().empty());
+  }
+  EXPECT_TRUE(sim.partition().validate().empty());
+}
+
+TEST(CanBaseline, OwnersAreScatteredGeoGridOwnersAreNot) {
+  GridSimulation can(can_options(400, 4));
+  SimulationOptions geo_opt = can_options(400, 4);
+  geo_opt.mode = GridMode::kBasic;
+  GridSimulation geo(geo_opt);
+
+  const auto displacement = [](const overlay::Partition& p) {
+    RunningStats d;
+    for (const auto& [rid, r] : p.regions()) {
+      d.add(p.region(rid).rect.distance_to(p.node(r.primary).coord));
+    }
+    return d.mean();
+  };
+  // GeoGrid owners sit inside or immediately next to their regions (same-
+  // half splits can displace a node into the adjacent rectangle); CAN
+  // owners are assigned rectangles with no relation to where they are.
+  EXPECT_LT(displacement(geo.partition()), 3.0);
+  EXPECT_GT(displacement(can.partition()), 5.0);
+  EXPECT_GT(displacement(can.partition()),
+            displacement(geo.partition()) * 3.0);
+}
+
+TEST(CanBaseline, RoutingStillWorks) {
+  GridSimulation sim(can_options(200, 5));
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const Point target{rng.uniform(0.01, 64.0), rng.uniform(0.01, 64.0)};
+    const RegionId from = sim.partition().locate(
+        Point{rng.uniform(0.01, 64.0), rng.uniform(0.01, 64.0)});
+    const auto route = overlay::route_greedy(sim.partition(), from, target);
+    EXPECT_TRUE(route.reached);
+  }
+}
+
+}  // namespace
+}  // namespace geogrid::core

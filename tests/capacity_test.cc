@@ -1,0 +1,66 @@
+// Gnutella-style capacity distribution.
+#include "workload/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace geogrid::workload {
+namespace {
+
+TEST(Capacity, GnutellaTiersNormalized) {
+  const auto dist = CapacityDistribution::gnutella();
+  ASSERT_EQ(dist.tiers().size(), 5u);
+  double total = 0.0;
+  for (const auto& t : dist.tiers()) total += t.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Five decades of capacity.
+  EXPECT_DOUBLE_EQ(dist.tiers().front().capacity, 1.0);
+  EXPECT_DOUBLE_EQ(dist.tiers().back().capacity, 10000.0);
+}
+
+TEST(Capacity, GnutellaMean) {
+  const auto dist = CapacityDistribution::gnutella();
+  // 0.2*1 + 0.45*10 + 0.30*100 + 0.049*1000 + 0.001*10000 = 93.7
+  EXPECT_NEAR(dist.mean(), 93.7, 1e-9);
+}
+
+TEST(Capacity, SamplingMatchesMasses) {
+  const auto dist = CapacityDistribution::gnutella();
+  Rng rng(42);
+  std::map<double, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[dist.sample(rng)]++;
+  EXPECT_NEAR(counts[1.0] / double(n), 0.20, 0.01);
+  EXPECT_NEAR(counts[10.0] / double(n), 0.45, 0.01);
+  EXPECT_NEAR(counts[100.0] / double(n), 0.30, 0.01);
+  EXPECT_NEAR(counts[1000.0] / double(n), 0.049, 0.005);
+  EXPECT_NEAR(counts[10000.0] / double(n), 0.001, 0.001);
+}
+
+TEST(Capacity, HomogeneousAlwaysSame) {
+  const auto dist = CapacityDistribution::homogeneous(7.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(dist.sample(rng), 7.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 7.0);
+}
+
+TEST(Capacity, CustomTiersNormalizedFromRawWeights) {
+  CapacityDistribution dist({{1.0, 3.0}, {2.0, 1.0}});  // raw weights 3:1
+  EXPECT_NEAR(dist.tiers()[0].probability, 0.75, 1e-12);
+  EXPECT_NEAR(dist.tiers()[1].probability, 0.25, 1e-12);
+  EXPECT_NEAR(dist.mean(), 1.25, 1e-12);
+}
+
+TEST(Capacity, SkewIsHeavy) {
+  // The distribution spans four orders of magnitude between the weakest
+  // and the strongest realistic peer — the heterogeneity GeoGrid's load
+  // balancing is designed for.
+  const auto dist = CapacityDistribution::gnutella();
+  const double weakest = dist.tiers().front().capacity;
+  const double strongest = dist.tiers().back().capacity;
+  EXPECT_GE(strongest / weakest, 1e4);
+}
+
+}  // namespace
+}  // namespace geogrid::workload

@@ -1,0 +1,95 @@
+// Cluster harness utilities (the protocol-mode testbed itself).
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace geogrid::core {
+namespace {
+
+Cluster::Options dual_options(std::uint64_t seed) {
+  Cluster::Options opt;
+  opt.node.mode = GridMode::kDualPeer;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(Cluster, GrowBringsEveryoneIn) {
+  Cluster cluster(dual_options(1));
+  cluster.grow(25);
+  for (const auto& node : cluster.nodes()) EXPECT_TRUE(node->joined());
+  EXPECT_EQ(cluster.nodes().size(), 25u);
+}
+
+TEST(Cluster, CoveredAreaEqualsPlane) {
+  Cluster cluster(dual_options(2));
+  cluster.grow(20);
+  cluster.run_for(10);
+  EXPECT_NEAR(cluster.covered_area(), 64.0 * 64.0, 1e-6);
+}
+
+TEST(Cluster, PrimaryCoveringFindsUniqueOwner) {
+  Cluster cluster(dual_options(3));
+  cluster.grow(15);
+  cluster.run_for(10);
+  GeoGridNode* owner = cluster.primary_covering({33.3, 30.7});
+  ASSERT_NE(owner, nullptr);
+  bool covers = false;
+  for (const auto& [rid, region] : owner->owned()) {
+    if (region.is_primary() && region.rect.covers(Point{33.3, 30.7})) {
+      covers = true;
+    }
+  }
+  EXPECT_TRUE(covers);
+}
+
+TEST(Cluster, ApplyFieldSetsLoads) {
+  Cluster cluster(dual_options(4));
+  cluster.grow(10);
+  Rng rng(5);
+  workload::HotSpotField field(
+      workload::HotSpotField::Options{.cells_x = 64, .cells_y = 64,
+                                      .hotspot_count = 0},
+      rng);
+  field.mutable_hotspots().push_back(workload::HotSpot{{32, 32}, 10.0});
+  field.rebuild();
+  cluster.apply_field(field);
+  double total = 0.0;
+  for (const auto& node : cluster.nodes()) {
+    for (const auto& [rid, region] : node->owned()) {
+      if (region.is_primary()) total += region.load;
+    }
+  }
+  EXPECT_NEAR(total, field.total_load(), field.total_load() * 1e-9);
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  auto build = [](std::uint64_t seed) {
+    Cluster cluster(dual_options(seed));
+    cluster.grow(20);
+    cluster.run_for(10);
+    std::vector<std::pair<std::uint32_t, double>> shape;
+    for (const auto& node : cluster.nodes()) {
+      for (const auto& [rid, region] : node->owned()) {
+        if (region.is_primary()) {
+          shape.emplace_back(rid.value, region.rect.area());
+        }
+      }
+    }
+    std::sort(shape.begin(), shape.end());
+    return shape;
+  };
+  EXPECT_EQ(build(7), build(7));
+  EXPECT_NE(build(7), build(8));
+}
+
+TEST(Cluster, NetworkStatsAccumulate) {
+  Cluster cluster(dual_options(9));
+  cluster.grow(10);
+  const auto sent = cluster.network().stats().messages_sent;
+  EXPECT_GT(sent, 0u);
+  cluster.run_for(20);  // heartbeats keep flowing
+  EXPECT_GT(cluster.network().stats().messages_sent, sent);
+}
+
+}  // namespace
+}  // namespace geogrid::core

@@ -1,0 +1,112 @@
+// Wire codec: primitive round-trips and malformed-input rejection.
+#include "net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace geogrid::net {
+namespace {
+
+TEST(Codec, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  w.string("hello geogrid");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.string(), "hello geogrid");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, VarintRoundTripBoundaries) {
+  const std::uint64_t cases[] = {
+      0, 1, 127, 128, 16383, 16384,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Codec, VarintCompactness) {
+  Writer w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Codec, FloatSpecials) {
+  Writer w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), -0.0);
+}
+
+TEST(Codec, GeometryRoundTrip) {
+  Writer w;
+  w.point(geogrid::Point{1.5, -2.25});
+  w.rect(geogrid::Rect{0, 32, 64, 32});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.point(), (geogrid::Point{1.5, -2.25}));
+  EXPECT_EQ(r.rect(), (geogrid::Rect{0, 32, 64, 32}));
+}
+
+TEST(Codec, IdsRoundTrip) {
+  Writer w;
+  w.node_id(geogrid::NodeId{42});
+  w.region_id(geogrid::RegionId{7});
+  w.node_id(geogrid::kInvalidNode);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.node_id(), (geogrid::NodeId{42}));
+  EXPECT_EQ(r.region_id(), (geogrid::RegionId{7}));
+  EXPECT_FALSE(r.node_id().valid());
+}
+
+TEST(Codec, TruncatedInputThrows) {
+  Writer w;
+  w.u32(12345);
+  Reader r(w.bytes().data(), 2);  // cut in half
+  EXPECT_THROW(r.u32(), CodecError);
+}
+
+TEST(Codec, TruncatedStringThrows) {
+  Writer w;
+  w.varint(100);  // declares a 100-byte string that never follows
+  Reader r(w.bytes());
+  EXPECT_THROW(r.string(), CodecError);
+}
+
+TEST(Codec, OverlongVarintThrows) {
+  std::vector<std::byte> bad(11, std::byte{0xff});
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), CodecError);
+}
+
+TEST(Codec, EmptyString) {
+  Writer w;
+  w.string("");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.string(), "");
+}
+
+}  // namespace
+}  // namespace geogrid::net

@@ -1,0 +1,39 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace geogrid {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"n", "mean", "stddev"});
+  csv.row(1000, 0.5, 0.25);
+  EXPECT_EQ(out.str(), "n,mean,stddev\n1000,0.5,0.25\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("plain", "with,comma", "with\"quote", "with\nnewline");
+  EXPECT_EQ(out.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriter, MixedFieldTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(42, 2.5, "x", true);
+  EXPECT_EQ(out.str(), "42,2.5,x,1\n");
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/zzz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace geogrid

@@ -1,0 +1,107 @@
+// Adaptation driver: rounds and single steps converge the workload.
+#include "loadbalance/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "loadbalance/workload_index.h"
+#include "metrics/collector.h"
+
+namespace geogrid::loadbalance {
+namespace {
+
+core::SimulationOptions sim_options(std::size_t nodes, std::uint64_t seed) {
+  core::SimulationOptions opt;
+  opt.mode = core::GridMode::kDualPeerAdaptive;
+  opt.node_count = nodes;
+  opt.seed = seed;
+  opt.field.cells_x = 128;
+  opt.field.cells_y = 128;
+  return opt;
+}
+
+TEST(Driver, RoundsReduceImbalanceAndConverge) {
+  core::GridSimulation sim(sim_options(400, 11));
+  const Summary before = sim.workload_summary();
+  std::size_t executed_last = 0;
+  for (int round = 0; round < 20; ++round) {
+    executed_last = sim.driver().run_round().executed;
+    ASSERT_TRUE(sim.partition().validate_fast().empty());
+    if (executed_last == 0) break;
+  }
+  const Summary after = sim.workload_summary();
+  EXPECT_LT(after.stddev, before.stddev);
+  EXPECT_LT(after.max, before.max);
+  EXPECT_EQ(executed_last, 0u);  // converged: no trigger fires anymore
+  EXPECT_TRUE(sim.partition().validate().empty());
+}
+
+TEST(Driver, StepExecutesSingleAdaptation) {
+  core::GridSimulation sim(sim_options(300, 13));
+  AdaptationDriver& driver = sim.driver();
+  const auto plan = driver.step();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(driver.total().executed, 1u);
+  EXPECT_TRUE(sim.partition().validate_fast().empty());
+}
+
+TEST(Driver, StepsEventuallyQuiesce) {
+  core::GridSimulation sim(sim_options(200, 17));
+  AdaptationDriver& driver = sim.driver();
+  int steps = 0;
+  while (driver.step().has_value()) {
+    ASSERT_LT(++steps, 2000) << "adaptation does not converge";
+  }
+  // Once quiescent, further steps stay quiescent (no oscillation).
+  EXPECT_FALSE(driver.step().has_value());
+  EXPECT_TRUE(sim.partition().validate().empty());
+}
+
+TEST(Driver, StatsCountPerMechanism) {
+  core::GridSimulation sim(sim_options(300, 19));
+  AdaptationDriver& driver = sim.driver();
+  for (int i = 0; i < 5; ++i) driver.run_round();
+  const auto& total = driver.total();
+  std::size_t sum = 0;
+  for (const std::size_t c : total.per_mechanism) sum += c;
+  EXPECT_EQ(sum, total.executed);
+  EXPECT_GT(total.executed, 0u);
+  EXPECT_GE(total.triggered, total.executed);
+}
+
+TEST(Driver, DisablingAllMechanismsMeansNoAdaptations) {
+  auto opt = sim_options(200, 23);
+  opt.planner.enabled.fill(false);
+  core::GridSimulation sim(opt);
+  const auto stats = sim.driver().run_round();
+  EXPECT_EQ(stats.executed, 0u);
+}
+
+TEST(Driver, AdaptationNeverBreaksPartition) {
+  core::GridSimulation sim(sim_options(300, 29));
+  for (int round = 0; round < 10; ++round) {
+    sim.migrate_hotspots();  // moving hot spots between rounds
+    sim.driver().run_round();
+    ASSERT_TRUE(sim.partition().validate_fast().empty()) << "round " << round;
+  }
+  EXPECT_TRUE(sim.partition().validate().empty());
+}
+
+TEST(AdaptationStats, MergeAccumulates) {
+  AdaptationStats a, b;
+  Plan plan;
+  plan.mechanism = Mechanism::kSwitchPrimary;
+  plan.valid = true;
+  a.account(plan);
+  b.account(plan);
+  b.triggered = 5;
+  a.merge(b);
+  EXPECT_EQ(a.executed, 2u);
+  EXPECT_EQ(a.triggered, 5u);
+  EXPECT_EQ(a.per_mechanism[static_cast<std::size_t>(
+                Mechanism::kSwitchPrimary)],
+            2u);
+}
+
+}  // namespace
+}  // namespace geogrid::loadbalance

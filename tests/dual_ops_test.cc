@@ -1,0 +1,166 @@
+// Dual-peer membership over the Partition: joins fill seats before
+// splitting; departures activate secondaries.
+#include "dualpeer/dual_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/hotspot.h"
+
+namespace geogrid::dualpeer {
+namespace {
+
+using overlay::Partition;
+
+const Rect kPlane{0, 0, 64, 64};
+
+net::NodeInfo make_node(std::uint32_t id, double x, double y,
+                        double capacity) {
+  net::NodeInfo n;
+  n.id = NodeId{id};
+  n.coord = Point{x, y};
+  n.capacity = capacity;
+  return n;
+}
+
+overlay::LoadFn zero_load() {
+  return [](RegionId) { return 0.0; };
+}
+
+TEST(DualJoin, SecondNodeFillsRootAsSecondary) {
+  Partition p(kPlane);
+  dual_join(p, make_node(1, 10, 10, 10.0), zero_load());
+  dual_join(p, make_node(2, 50, 50, 5.0), zero_load());
+  EXPECT_EQ(p.region_count(), 1u);  // no split: seat filled instead
+  const auto& root = p.regions().begin()->second;
+  EXPECT_TRUE(root.full());
+  EXPECT_EQ(root.primary, (NodeId{1}));  // incumbent stronger, keeps primary
+  EXPECT_EQ(*root.secondary, (NodeId{2}));
+}
+
+TEST(DualJoin, StrongerJoinerTakesPrimaryRole) {
+  Partition p(kPlane);
+  dual_join(p, make_node(1, 10, 10, 5.0), zero_load());
+  dual_join(p, make_node(2, 50, 50, 500.0), zero_load());
+  const auto& root = p.regions().begin()->second;
+  EXPECT_EQ(root.primary, (NodeId{2}));
+  EXPECT_EQ(*root.secondary, (NodeId{1}));
+}
+
+TEST(DualJoin, ThirdNodeSplitsFullRoot) {
+  Partition p(kPlane);
+  dual_join(p, make_node(1, 10, 10, 10.0), zero_load());
+  dual_join(p, make_node(2, 50, 50, 5.0), zero_load());
+  dual_join(p, make_node(3, 30, 30, 7.0), zero_load());
+  EXPECT_EQ(p.region_count(), 2u);
+  // All three nodes hold exactly one seat.
+  int seats = 0;
+  for (const auto& [id, r] : p.regions()) {
+    seats += 1 + (r.full() ? 1 : 0);
+  }
+  EXPECT_EQ(seats, 3);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(DualJoin, HalvesRegionCountVersusBasic) {
+  Rng rng(5);
+  Partition p(kPlane);
+  std::uint32_t id = 1;
+  for (int i = 0; i < 200; ++i) {
+    dual_join(p,
+              make_node(id++, rng.uniform(0.01, 64), rng.uniform(0.01, 64),
+                        rng.chance(0.5) ? 10.0 : 100.0),
+              zero_load());
+  }
+  // 200 nodes over dual-peer seats: region count near 100, far below 200.
+  EXPECT_LE(p.region_count(), 140u);
+  EXPECT_GE(p.region_count(), 80u);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(DualJoin, JoinsLoadedRegionFirst) {
+  // Root is full; neighbors half-full.  A loaded, weak region must attract
+  // the joiner as its secondary.
+  Partition p(kPlane);
+  workload::HotSpotField::Options fopt;
+  fopt.cells_x = 64;
+  fopt.cells_y = 64;
+  fopt.hotspot_count = 0;
+  Rng rng(1);
+  workload::HotSpotField field(fopt, rng);
+  field.mutable_hotspots().push_back(workload::HotSpot{{16, 16}, 6.0});
+  field.rebuild();
+  const overlay::LoadFn load = [&](RegionId rid) {
+    return field.region_load(p.region(rid).rect);
+  };
+  dual_join(p, make_node(1, 10, 10, 10.0), load);
+  dual_join(p, make_node(2, 50, 50, 10.0), load);
+  dual_join(p, make_node(3, 20, 20, 10.0), load);  // splits the root
+  // Now join near the hot spot: the weakest owner there should gain a peer.
+  dual_join(p, make_node(4, 15, 15, 10.0), load);
+  const RegionId hot = p.locate({16, 16});
+  EXPECT_TRUE(p.region(hot).full());
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(DualLeave, SecondaryDepartureLeavesHalfFull) {
+  Partition p(kPlane);
+  dual_join(p, make_node(1, 10, 10, 10.0), zero_load());
+  dual_join(p, make_node(2, 50, 50, 5.0), zero_load());
+  dual_leave(p, NodeId{2});
+  const auto& root = p.regions().begin()->second;
+  EXPECT_FALSE(root.full());
+  EXPECT_EQ(root.primary, (NodeId{1}));
+  EXPECT_EQ(p.node_count(), 1u);
+}
+
+TEST(DualLeave, PrimaryDepartureActivatesSecondary) {
+  Partition p(kPlane);
+  dual_join(p, make_node(1, 10, 10, 10.0), zero_load());
+  dual_join(p, make_node(2, 50, 50, 5.0), zero_load());
+  dual_leave(p, NodeId{1});
+  const auto& root = p.regions().begin()->second;
+  EXPECT_EQ(root.primary, (NodeId{2}));
+  EXPECT_FALSE(root.full());
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(DualFail, FailoverMatchesDeparture) {
+  Partition p(kPlane);
+  dual_join(p, make_node(1, 10, 10, 10.0), zero_load());
+  dual_join(p, make_node(2, 50, 50, 5.0), zero_load());
+  dual_fail(p, NodeId{1});
+  EXPECT_EQ(p.regions().begin()->second.primary, (NodeId{2}));
+}
+
+TEST(DualChurn, RandomJoinLeaveFailKeepsInvariants) {
+  Partition p(kPlane);
+  Rng rng(21);
+  std::vector<std::uint32_t> alive;
+  std::uint32_t next = 1;
+  for (int step = 0; step < 400; ++step) {
+    const bool join = alive.size() < 4 || rng.chance(0.6);
+    if (join) {
+      const auto id = next++;
+      dual_join(p,
+                make_node(id, rng.uniform(0.01, 64), rng.uniform(0.01, 64),
+                          rng.chance(0.3) ? 100.0 : 10.0),
+                zero_load());
+      alive.push_back(id);
+    } else {
+      const auto idx = rng.uniform_index(alive.size());
+      if (rng.chance(0.5)) {
+        dual_leave(p, NodeId{alive[idx]});
+      } else {
+        dual_fail(p, NodeId{alive[idx]});
+      }
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_TRUE(p.validate_fast().empty()) << "step " << step;
+    ASSERT_EQ(p.node_count(), alive.size());
+  }
+  EXPECT_TRUE(p.validate().empty());
+}
+
+}  // namespace
+}  // namespace geogrid::dualpeer

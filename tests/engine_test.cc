@@ -1,0 +1,117 @@
+// Engine-mode end-to-end: the three system variants reproduce the paper's
+// qualitative results on small populations.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/collector.h"
+
+namespace geogrid::core {
+namespace {
+
+SimulationOptions base_options(GridMode mode, std::size_t nodes,
+                               std::uint64_t seed) {
+  SimulationOptions opt;
+  opt.mode = mode;
+  opt.node_count = nodes;
+  opt.seed = seed;
+  opt.field.cells_x = 128;
+  opt.field.cells_y = 128;
+  return opt;
+}
+
+TEST(Engine, BasicBuildsOneRegionPerNode) {
+  GridSimulation sim(base_options(GridMode::kBasic, 300, 1));
+  EXPECT_EQ(sim.partition().region_count(), 300u);
+  EXPECT_EQ(sim.partition().node_count(), 300u);
+  EXPECT_TRUE(sim.partition().validate().empty());
+}
+
+TEST(Engine, DualPeerHalvesRegionCount) {
+  GridSimulation basic(base_options(GridMode::kBasic, 400, 2));
+  GridSimulation dual(base_options(GridMode::kDualPeer, 400, 2));
+  EXPECT_LT(dual.partition().region_count(),
+            basic.partition().region_count() * 3 / 4);
+  EXPECT_TRUE(dual.partition().validate().empty());
+}
+
+TEST(Engine, DualPeerImprovesBalanceOverBasic) {
+  // Same seed => same hot spots and node stream; only the policy differs.
+  GridSimulation basic(base_options(GridMode::kBasic, 500, 3));
+  GridSimulation dual(base_options(GridMode::kDualPeer, 500, 3));
+  const Summary sb = basic.workload_summary();
+  const Summary sd = dual.workload_summary();
+  EXPECT_LT(sd.stddev, sb.stddev);
+  EXPECT_LT(sd.mean, sb.mean);
+}
+
+TEST(Engine, AdaptationImprovesOverDualPeerByALot) {
+  GridSimulation basic(base_options(GridMode::kBasic, 500, 4));
+  GridSimulation adaptive(
+      base_options(GridMode::kDualPeerAdaptive, 500, 4));
+  for (int i = 0; i < 15; ++i) {
+    if (adaptive.driver().run_round().executed == 0) break;
+  }
+  const Summary sb = basic.workload_summary();
+  const Summary sa = adaptive.workload_summary();
+  // The paper's headline: an order of magnitude on both metrics.
+  EXPECT_LT(sa.stddev * 5.0, sb.stddev);
+  EXPECT_LT(sa.mean * 5.0, sb.mean);
+}
+
+TEST(Engine, SameSeedIsFullyReproducible) {
+  GridSimulation a(base_options(GridMode::kDualPeerAdaptive, 200, 5));
+  GridSimulation b(base_options(GridMode::kDualPeerAdaptive, 200, 5));
+  a.driver().run_round();
+  b.driver().run_round();
+  const Summary sa = a.workload_summary();
+  const Summary sb = b.workload_summary();
+  EXPECT_DOUBLE_EQ(sa.mean, sb.mean);
+  EXPECT_DOUBLE_EQ(sa.stddev, sb.stddev);
+  EXPECT_DOUBLE_EQ(sa.max, sb.max);
+  EXPECT_EQ(a.partition().region_count(), b.partition().region_count());
+}
+
+TEST(Engine, DifferentSeedsDiffer) {
+  GridSimulation a(base_options(GridMode::kBasic, 200, 6));
+  GridSimulation b(base_options(GridMode::kBasic, 200, 7));
+  EXPECT_NE(a.workload_summary().stddev, b.workload_summary().stddev);
+}
+
+TEST(Engine, MembershipDynamics) {
+  GridSimulation sim(base_options(GridMode::kDualPeer, 100, 8));
+  const NodeId added = sim.add_node_at(Point{32, 32}, 50.0);
+  EXPECT_TRUE(sim.partition().has_node(added));
+  sim.remove_node(added, /*crash=*/false);
+  EXPECT_FALSE(sim.partition().has_node(added));
+  EXPECT_TRUE(sim.partition().validate().empty());
+
+  const NodeId crashed = sim.add_node_at(Point{10, 10}, 5.0);
+  sim.remove_node(crashed, /*crash=*/true);
+  EXPECT_TRUE(sim.partition().validate().empty());
+}
+
+TEST(Engine, HotspotMigrationChangesLoads) {
+  GridSimulation sim(base_options(GridMode::kDualPeer, 200, 9));
+  const Summary before = sim.workload_summary();
+  sim.migrate_hotspots(10);
+  const Summary after = sim.workload_summary();
+  EXPECT_NE(before.stddev, after.stddev);
+}
+
+TEST(Engine, JoinHopsScaleSubLinearly) {
+  GridSimulation small(base_options(GridMode::kBasic, 64, 10));
+  GridSimulation large(base_options(GridMode::kBasic, 1024, 10));
+  // O(sqrt(N)) routing: 16x nodes -> about 4x hops, far below 16x.
+  EXPECT_LT(large.mean_join_hops(), small.mean_join_hops() * 8.0);
+  EXPECT_GT(large.mean_join_hops(), small.mean_join_hops());
+}
+
+TEST(Engine, AreaCapacityCorrelationPositiveUnderDualPeer) {
+  GridSimulation dual(base_options(GridMode::kDualPeer, 500, 11));
+  // Figure 3's claim: powerful nodes end up owning bigger regions.
+  EXPECT_GT(metrics::area_capacity_correlation(dual.partition()), 0.05);
+}
+
+}  // namespace
+}  // namespace geogrid::core

@@ -1,0 +1,105 @@
+// Discrete-event kernel: ordering, cancellation, virtual time.
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace geogrid::sim {
+namespace {
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(3.0, [&] { order.push_back(3); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(2.0, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoop, SameTimeFiresInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  double fired_at = -1.0;
+  loop.schedule_at(5.0, [&] {
+    loop.schedule_after(2.5, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  EventHandle h = loop.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelAfterFireIsNoop) {
+  EventLoop loop;
+  EventHandle h = loop.schedule_at(1.0, [] {});
+  loop.run();
+  h.cancel();  // must not crash or corrupt
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] { ++fired; });
+  loop.schedule_at(2.0, [&] { ++fired; });
+  loop.schedule_at(5.0, [&] { ++fired; });
+  loop.run_until(3.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+  loop.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(5.0, [] {});
+  loop.run();
+  double fired_at = -1.0;
+  loop.schedule_at(1.0, [&] { fired_at = loop.now(); });  // in the past
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventLoop, EventsScheduledDuringRunAreProcessed) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(1.0, recurse);
+  };
+  loop.schedule_at(0.0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(loop.now(), 4.0);
+}
+
+TEST(EventLoop, MaxEventsBoundsRun) {
+  EventLoop loop;
+  std::function<void()> forever = [&] { loop.schedule_after(1.0, forever); };
+  loop.schedule_at(0.0, forever);
+  loop.run(100);
+  EXPECT_EQ(loop.fired(), 100u);
+}
+
+}  // namespace
+}  // namespace geogrid::sim

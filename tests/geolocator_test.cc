@@ -1,0 +1,63 @@
+#include "services/geolocator.h"
+
+#include <gtest/gtest.h>
+
+namespace geogrid::services {
+namespace {
+
+const Rect kPlane{0, 0, 64, 64};
+
+TEST(Geolocator, PerfectGpsReturnsTruth) {
+  Geolocator geo(kPlane, {.max_error_miles = 0.0}, Rng(1));
+  EXPECT_EQ(geo.locate({10, 20}), (Point{10, 20}));
+}
+
+TEST(Geolocator, ErrorStaysWithinRadius) {
+  Geolocator geo(kPlane, {.max_error_miles = 5.0}, Rng(2));
+  const Point truth{32, 32};
+  for (int i = 0; i < 1000; ++i) {
+    const Point reported = geo.locate(truth);
+    EXPECT_LE(distance(truth, reported), 5.0 + 1e-9);
+  }
+}
+
+TEST(Geolocator, ReportedPositionsClampToPlane) {
+  Geolocator geo(kPlane, {.max_error_miles = 50.0}, Rng(3));
+  const Point corner{0.5, 0.5};
+  for (int i = 0; i < 1000; ++i) {
+    const Point p = geo.locate(corner);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.x, 64.0);
+    EXPECT_LE(p.y, 64.0);
+  }
+}
+
+TEST(Geolocator, RandomPositionsCoverPlaneInterior) {
+  Geolocator geo(kPlane, {}, Rng(4));
+  bool west = false, east = false, south = false, north = false;
+  for (int i = 0; i < 1000; ++i) {
+    const Point p = geo.random_position();
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LE(p.x, 64.0);
+    EXPECT_LE(p.y, 64.0);
+    west |= p.x < 16;
+    east |= p.x > 48;
+    south |= p.y < 16;
+    north |= p.y > 48;
+  }
+  EXPECT_TRUE(west && east && south && north);
+}
+
+TEST(Geolocator, ErrorActuallyPerturbs) {
+  Geolocator geo(kPlane, {.max_error_miles = 5.0}, Rng(5));
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (distance(geo.locate({32, 32}), {32, 32}) > 0.01) ++moved;
+  }
+  EXPECT_GT(moved, 90);
+}
+
+}  // namespace
+}  // namespace geogrid::services

@@ -1,0 +1,48 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace geogrid {
+namespace {
+
+TEST(Histogram, BinsValuesUniformly) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v : {0.5, 2.5, 4.5, 6.5, 8.5}) h.add(v);
+  for (std::size_t b = 0; b < 5; ++b) EXPECT_EQ(h.count(b), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 10.0);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 1.0 / 3.0);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string art = h.render(10);
+  EXPECT_NE(art.find("##########"), std::string::npos);
+  EXPECT_NE(art.find("10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geogrid

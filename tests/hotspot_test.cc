@@ -1,0 +1,177 @@
+// Hot-spot workload field: the 1 - d/r falloff, migration, region loads.
+#include "workload/hotspot.h"
+
+#include <gtest/gtest.h>
+
+namespace geogrid::workload {
+namespace {
+
+HotSpotField::Options small_field() {
+  HotSpotField::Options opt;
+  opt.plane = Rect{0, 0, 64, 64};
+  opt.cells_x = 64;
+  opt.cells_y = 64;
+  opt.hotspot_count = 0;  // tests add their own
+  return opt;
+}
+
+TEST(HotSpot, IntensityFalloff) {
+  const HotSpot h{Point{10, 10}, 4.0};
+  EXPECT_DOUBLE_EQ(h.intensity_at({10, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(h.intensity_at({12, 10}), 0.5);
+  EXPECT_DOUBLE_EQ(h.intensity_at({14, 10}), 0.0);   // on the border
+  EXPECT_DOUBLE_EQ(h.intensity_at({20, 10}), 0.0);   // outside
+}
+
+TEST(HotSpotField, RadiiWithinPaperBounds) {
+  HotSpotField::Options opt = small_field();
+  opt.hotspot_count = 50;
+  Rng rng(1);
+  HotSpotField field(opt, rng);
+  for (const auto& h : field.hotspots()) {
+    EXPECT_GE(h.radius, 0.1);
+    EXPECT_LE(h.radius, 10.0);
+  }
+}
+
+TEST(HotSpotField, FieldSumsHotSpots) {
+  Rng rng(2);
+  HotSpotField field(small_field(), rng);
+  field.mutable_hotspots().push_back(HotSpot{{20, 20}, 4.0});
+  field.mutable_hotspots().push_back(HotSpot{{22, 20}, 4.0});
+  field.rebuild();
+  EXPECT_NEAR(field.at({21, 20}), (1.0 - 1.0 / 4.0) * 2.0, 1e-12);
+}
+
+TEST(HotSpotField, RegionLoadEqualsTotalOverPlane) {
+  Rng rng(3);
+  HotSpotField field(small_field(), rng);
+  field.mutable_hotspots().push_back(HotSpot{{32, 32}, 8.0});
+  field.rebuild();
+  const double total = field.total_load();
+  EXPECT_GT(total, 0.0);
+  // Sum over the four quadrants must reproduce the total exactly (prefix
+  // sums + half-open cell assignment leave no cell double-counted).
+  double quadrants = 0.0;
+  quadrants += field.region_load({0, 0, 32, 32});
+  quadrants += field.region_load({32, 0, 32, 32});
+  quadrants += field.region_load({0, 32, 32, 32});
+  quadrants += field.region_load({32, 32, 32, 32});
+  EXPECT_NEAR(quadrants, total, total * 1e-9);
+}
+
+TEST(HotSpotField, RegionLoadIsResolutionIndependent) {
+  HotSpotField::Options coarse = small_field();
+  HotSpotField::Options fine = small_field();
+  fine.cells_x = 256;
+  fine.cells_y = 256;
+  Rng rng_a(4);
+  Rng rng_b(4);
+  HotSpotField fa(coarse, rng_a), fb(fine, rng_b);
+  fa.mutable_hotspots().push_back(HotSpot{{32, 32}, 8.0});
+  fb.mutable_hotspots().push_back(HotSpot{{32, 32}, 8.0});
+  fa.rebuild();
+  fb.rebuild();
+  const Rect probe{16, 16, 32, 32};
+  // Loads are integrals of the same field: within discretization error.
+  EXPECT_NEAR(fa.region_load(probe), fb.region_load(probe),
+              fa.region_load(probe) * 0.05);
+}
+
+TEST(HotSpotField, LoadConcentratesAtCenter) {
+  Rng rng(5);
+  HotSpotField field(small_field(), rng);
+  field.mutable_hotspots().push_back(HotSpot{{32, 32}, 8.0});
+  field.rebuild();
+  const double center = field.region_load({28, 28, 8, 8});
+  const double edge = field.region_load({0, 0, 8, 8});
+  EXPECT_GT(center, 0.0);
+  EXPECT_DOUBLE_EQ(edge, 0.0);
+}
+
+TEST(HotSpotField, MigrationKeepsHotSpotsOnPlane) {
+  HotSpotField::Options opt = small_field();
+  opt.hotspot_count = 10;
+  Rng rng(6);
+  HotSpotField field(opt, rng);
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    field.migrate(rng);
+    for (const auto& h : field.hotspots()) {
+      EXPECT_GE(h.center.x, 0.0);
+      EXPECT_LE(h.center.x, 64.0);
+      EXPECT_GE(h.center.y, 0.0);
+      EXPECT_LE(h.center.y, 64.0);
+      EXPECT_GE(h.radius, 0.1);  // radius never changes during migration
+      EXPECT_LE(h.radius, 10.0);
+    }
+  }
+}
+
+TEST(HotSpotField, MigrationStepBounded) {
+  HotSpotField::Options opt = small_field();
+  opt.hotspot_count = 5;
+  Rng rng(7);
+  HotSpotField field(opt, rng);
+  const auto before = field.hotspots();
+  field.migrate(rng);
+  const auto& after = field.hotspots();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    // Step size is U(0, 2r); reflection can only shorten displacement.
+    EXPECT_LE(distance(before[i].center, after[i].center),
+              2.0 * before[i].radius + 1e-9);
+  }
+}
+
+TEST(HotSpotField, MigrationMovesTheLoad) {
+  HotSpotField::Options opt = small_field();
+  opt.hotspot_count = 8;
+  Rng rng(8);
+  HotSpotField field(opt, rng);
+  const double before = field.region_load({0, 0, 16, 16});
+  field.migrate(rng, 20);
+  const double total = field.total_load();
+  EXPECT_GT(total, 0.0);
+  // After 20 epochs at least something about the field changed.
+  const double after = field.region_load({0, 0, 16, 16});
+  EXPECT_TRUE(before != after || field.hotspots()[0].center.x != 0.0);
+}
+
+TEST(HotSpotField, WeightedSamplingPrefersHotCells) {
+  Rng rng(9);
+  HotSpotField field(small_field(), rng);
+  field.mutable_hotspots().push_back(HotSpot{{48, 48}, 6.0});
+  field.rebuild();
+  int near_hotspot = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Point p = field.sample_weighted_point(rng);
+    if (distance(p, {48, 48}) <= 7.0) ++near_hotspot;
+  }
+  EXPECT_GT(near_hotspot, 1900);  // essentially all mass is in the circle
+}
+
+TEST(HotSpotField, ZeroFieldSamplesUniformly) {
+  Rng rng(10);
+  HotSpotField field(small_field(), rng);  // no hot spots at all
+  int left = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (field.sample_weighted_point(rng).x < 32.0) ++left;
+  }
+  EXPECT_NEAR(left, 1000, 150);
+}
+
+TEST(HotSpotField, CellWorkloadMatchesPrefixSums) {
+  Rng rng(11);
+  HotSpotField field(small_field(), rng);
+  field.mutable_hotspots().push_back(HotSpot{{32, 32}, 8.0});
+  field.rebuild();
+  double cells = 0.0;
+  for (std::size_t ix = 0; ix < 64; ++ix) {
+    for (std::size_t iy = 0; iy < 64; ++iy) {
+      cells += field.cell_workload(ix, iy);
+    }
+  }
+  EXPECT_NEAR(cells, field.total_load(), field.total_load() * 1e-9);
+}
+
+}  // namespace
+}  // namespace geogrid::workload

@@ -1,0 +1,103 @@
+// Dual-peer join target selection (§2.3 rules, pure over snapshots).
+#include "dualpeer/join_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace geogrid::dualpeer {
+namespace {
+
+net::RegionSnapshot snap(std::uint32_t rid, double primary_cap, double load,
+                         bool full, double secondary_cap = 1.0) {
+  net::RegionSnapshot s;
+  s.region = RegionId{rid};
+  s.rect = Rect{0, 0, 8, 8};
+  s.primary.id = NodeId{rid * 10};
+  s.primary.capacity = primary_cap;
+  if (full) {
+    net::NodeInfo sec;
+    sec.id = NodeId{rid * 10 + 1};
+    sec.capacity = secondary_cap;
+    s.secondary = sec;
+  }
+  s.load = load;
+  s.workload_index = primary_cap > 0 ? load / primary_cap : load;
+  return s;
+}
+
+TEST(JoinPolicy, PrefersHalfFullRegionWithLeastAvailableCapacity) {
+  const auto covering = snap(1, 100.0, 10.0, false);  // avail 90
+  const std::vector<net::RegionSnapshot> neighbors{
+      snap(2, 10.0, 8.0, false),   // avail 2 <- weakest open
+      snap(3, 50.0, 10.0, false),  // avail 40
+  };
+  const auto d = select_join_target(covering, neighbors);
+  EXPECT_EQ(d.action, JoinDecision::Action::kFillSecondary);
+  EXPECT_EQ(d.region, (RegionId{2}));
+}
+
+TEST(JoinPolicy, CoveringRegionItselfCanWin) {
+  const auto covering = snap(1, 5.0, 4.9, false);  // avail 0.1
+  const std::vector<net::RegionSnapshot> neighbors{
+      snap(2, 100.0, 1.0, false),
+  };
+  const auto d = select_join_target(covering, neighbors);
+  EXPECT_EQ(d.action, JoinDecision::Action::kFillSecondary);
+  EXPECT_EQ(d.region, (RegionId{1}));
+}
+
+TEST(JoinPolicy, AllFullMeansSplitWeakest) {
+  const auto covering = snap(1, 100.0, 10.0, true, 50.0);
+  const std::vector<net::RegionSnapshot> neighbors{
+      snap(2, 10.0, 9.0, true, 20.0),  // avail 1 <- split victim
+      snap(3, 60.0, 10.0, true, 30.0),
+  };
+  const auto d = select_join_target(covering, neighbors);
+  EXPECT_EQ(d.action, JoinDecision::Action::kSplit);
+  EXPECT_EQ(d.region, (RegionId{2}));
+}
+
+TEST(JoinPolicy, OverloadedOwnersTieBreakOnIndex) {
+  // Both candidates have zero available capacity; the one with the higher
+  // workload index wins (it needs the help more).
+  const auto covering = snap(1, 10.0, 15.0, false);  // index 1.5
+  const std::vector<net::RegionSnapshot> neighbors{
+      snap(2, 10.0, 30.0, false),  // index 3.0 <- more overloaded
+  };
+  const auto d = select_join_target(covering, neighbors);
+  EXPECT_EQ(d.region, (RegionId{2}));
+}
+
+TEST(JoinPolicy, DeterministicTieBreakOnRegionId) {
+  const auto covering = snap(5, 10.0, 5.0, false);
+  const std::vector<net::RegionSnapshot> neighbors{
+      snap(3, 10.0, 5.0, false),  // identical: smaller id wins
+  };
+  const auto d = select_join_target(covering, neighbors);
+  EXPECT_EQ(d.region, (RegionId{3}));
+}
+
+TEST(JoinPolicy, StrongerJoinerTakesPrimary) {
+  EXPECT_TRUE(joiner_takes_primary(100.0, 10.0));
+  EXPECT_FALSE(joiner_takes_primary(10.0, 100.0));
+  EXPECT_FALSE(joiner_takes_primary(10.0, 10.0));  // ties keep incumbent
+}
+
+TEST(JoinPolicy, PickHalfWithLessAvailableCapacity) {
+  const auto weak_half = snap(1, 10.0, 9.0, false);    // avail 1
+  const auto strong_half = snap(2, 100.0, 9.0, false); // avail 91
+  EXPECT_EQ(pick_half_to_join(weak_half, strong_half), (RegionId{1}));
+  EXPECT_EQ(pick_half_to_join(strong_half, weak_half), (RegionId{1}));
+}
+
+TEST(JoinPolicy, CandidateOrderingIsStrictWeak) {
+  const auto a = snap(1, 10.0, 2.0, false);
+  const auto b = snap(2, 100.0, 2.0, false);
+  EXPECT_TRUE(join_candidate_less(a, b));
+  EXPECT_FALSE(join_candidate_less(b, a));
+  EXPECT_FALSE(join_candidate_less(a, a));
+}
+
+}  // namespace
+}  // namespace geogrid::dualpeer

@@ -1,0 +1,178 @@
+// Protocol message framing: every message type round-trips losslessly.
+#include "net/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace geogrid::net {
+namespace {
+
+NodeInfo sample_node(std::uint32_t id, double capacity = 10.0) {
+  NodeInfo n;
+  n.id = NodeId{id};
+  n.coord = Point{12.5, 47.25};
+  n.capacity = capacity;
+  return n;
+}
+
+RegionSnapshot sample_snapshot(std::uint32_t rid, bool with_secondary) {
+  RegionSnapshot s;
+  s.region = RegionId{rid};
+  s.rect = Rect{16, 32, 16, 8};
+  s.primary = sample_node(rid * 10, 100.0);
+  if (with_secondary) s.secondary = sample_node(rid * 10 + 1, 10.0);
+  s.load = 2.75;
+  s.workload_index = 0.0275;
+  s.split_depth = 5;
+  return s;
+}
+
+/// Lossless round-trip: re-encoding the decoded message reproduces the
+/// original bytes exactly.
+void expect_roundtrip(const Message& m) {
+  const auto bytes = encode_message(m);
+  const Message decoded = decode_message(bytes);
+  EXPECT_EQ(message_type(decoded), message_type(m));
+  EXPECT_EQ(encode_message(decoded), bytes)
+      << "lossy round-trip for " << message_name(message_type(m));
+}
+
+TEST(Messages, EveryTypeRoundTrips) {
+  std::vector<Message> all;
+  all.push_back(BootstrapRegister{sample_node(1)});
+  all.push_back(BootstrapEntryRequest{sample_node(2)});
+  all.push_back(BootstrapEntryReply{sample_node(3)});
+  all.push_back(BootstrapEntryReply{std::nullopt});
+  all.push_back(JoinRequest{sample_node(4)});
+  all.push_back(JoinProbeReply{sample_snapshot(1, true),
+                               {sample_snapshot(2, false),
+                                sample_snapshot(3, true)}});
+  all.push_back(SecondaryJoinRequest{sample_node(5), RegionId{9}});
+  all.push_back(SplitJoinRequest{sample_node(6), RegionId{10}});
+  {
+    JoinGrant g;
+    g.region_state = sample_snapshot(4, true);
+    g.role = OwnerRole::kSecondary;
+    g.neighbors = {sample_snapshot(5, false)};
+    all.push_back(g);
+  }
+  all.push_back(JoinReject{"region changed"});
+  all.push_back(NeighborUpdate{sample_snapshot(6, false)});
+  all.push_back(NeighborRemove{RegionId{11}});
+  all.push_back(LeaveNotice{RegionId{12}, true});
+  all.push_back(TakeoverNotice{sample_snapshot(7, false)});
+  {
+    RegionHandoff h;
+    h.region_state = sample_snapshot(8, true);
+    h.neighbors = {sample_snapshot(9, false)};
+    h.vacate = RegionId{13};
+    all.push_back(h);
+  }
+  all.push_back(Heartbeat{RegionId{14}, 1.5, 8.5});
+  all.push_back(HeartbeatAck{RegionId{15}});
+  all.push_back(SyncState{RegionId{16}, 42, "replica-blob"});
+  all.push_back(LoadStatsExchange{{sample_snapshot(10, true)}});
+  all.push_back(StealSecondaryRequest{RegionId{17}, sample_snapshot(11, false)});
+  all.push_back(StealSecondaryGrant{RegionId{18}, sample_node(7)});
+  all.push_back(StealSecondaryReject{RegionId{19}});
+  {
+    SwitchRequest sr;
+    sr.kind = SwitchKind::kPrimaryWithSecondary;
+    sr.proposer_region = sample_snapshot(12, true);
+    sr.proposer_neighbors = {sample_snapshot(13, false)};
+    sr.target_region = RegionId{20};
+    all.push_back(sr);
+  }
+  all.push_back(SwitchGrant{SwitchKind::kPrimaryWithPrimary, RegionId{21},
+                            sample_node(8)});
+  all.push_back(SwitchReject{RegionId{22}});
+  {
+    MergeRequest mr;
+    mr.proposer_region = sample_snapshot(14, false);
+    mr.proposer_neighbors = {sample_snapshot(15, true)};
+    mr.target_region = RegionId{23};
+    all.push_back(mr);
+  }
+  all.push_back(MergeGrant{sample_snapshot(16, true)});
+  all.push_back(MergeReject{RegionId{24}});
+  all.push_back(SplitRegionNotice{RegionId{25}, sample_snapshot(17, false),
+                                  sample_snapshot(18, false)});
+  {
+    TtlSearchRequest t;
+    t.search_id = 77;
+    t.origin = sample_node(9);
+    t.want = SearchWant::kPrimary;
+    t.min_capacity = 100.0;
+    t.max_index = 0.5;
+    t.ttl = 3;
+    t.depth = 2;
+    all.push_back(t);
+  }
+  all.push_back(TtlSearchReply{88, sample_snapshot(19, true),
+                               SearchWant::kSecondary});
+  all.push_back(OwnerProbe{RegionId{28}, sample_node(12)});
+  all.push_back(make_routed(Point{30, 40}, LocationQuery{}));
+  {
+    LocationQuery q;
+    q.query_id = 123;
+    q.focal = sample_node(10);
+    q.area = Rect{20, 20, 4, 4};
+    q.filter = "traffic";
+    q.disseminated = true;
+    all.push_back(q);
+  }
+  all.push_back(QueryResult{456, RegionId{26}, "payload"});
+  {
+    Subscribe s;
+    s.sub_id = 789;
+    s.subscriber = sample_node(11);
+    s.area = Rect{10, 10, 2, 2};
+    s.filter = "parking";
+    s.duration = 1800.0;
+    all.push_back(s);
+  }
+  all.push_back(SubscribeAck{789, RegionId{27}});
+  all.push_back(Publish{Point{11, 11}, "parking", "lot A: 3 spots"});
+  all.push_back(Notify{789, "parking", "lot A: 3 spots"});
+
+  EXPECT_EQ(all.size(), 39u);  // every message type exercised
+  for (const Message& m : all) expect_roundtrip(m);
+}
+
+TEST(Messages, UnknownTypeThrows) {
+  Writer w;
+  w.u16(0x7fff);
+  EXPECT_THROW(decode_message(w.bytes()), CodecError);
+}
+
+TEST(Messages, TrailingBytesThrow) {
+  auto bytes = encode_message(HeartbeatAck{RegionId{1}});
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW(decode_message(bytes), CodecError);
+}
+
+TEST(Messages, RoutedEnvelopeWrapsInner) {
+  LocationQuery q;
+  q.query_id = 5;
+  q.focal = sample_node(1);
+  q.area = Rect{1, 2, 3, 4};
+  const Routed env = make_routed(q.area.center(), q);
+  EXPECT_EQ(env.target, (Point{2.5, 4.0}));
+  const Message inner = unwrap_routed(env);
+  ASSERT_TRUE(std::holds_alternative<LocationQuery>(inner));
+  EXPECT_EQ(std::get<LocationQuery>(inner).query_id, 5u);
+}
+
+TEST(Messages, WireSizeIncludesOverhead) {
+  const HeartbeatAck ack{RegionId{1}};
+  EXPECT_EQ(wire_size(ack),
+            encode_message(ack).size() + kPacketOverheadBytes);
+}
+
+TEST(Messages, NamesAreUnique) {
+  EXPECT_EQ(message_name(MsgType::kHeartbeat), "Heartbeat");
+  EXPECT_EQ(message_name(MsgType::kRouted), "Routed");
+  EXPECT_EQ(message_name(static_cast<MsgType>(9999)), "Unknown");
+}
+
+}  // namespace
+}  // namespace geogrid::net

@@ -1,0 +1,184 @@
+// Partition mechanics: split/merge bookkeeping, ownership indexes,
+// adjacency maintenance, invariant checking.
+#include "overlay/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace geogrid::overlay {
+namespace {
+
+const Rect kPlane{0, 0, 64, 64};
+
+net::NodeInfo make_node(std::uint32_t id, double x, double y,
+                        double capacity = 10.0) {
+  net::NodeInfo n;
+  n.id = NodeId{id};
+  n.coord = Point{x, y};
+  n.capacity = capacity;
+  return n;
+}
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  Partition p{kPlane};
+
+  void expect_valid() {
+    const auto errors = p.validate();
+    EXPECT_TRUE(errors.empty()) << errors.front();
+  }
+};
+
+TEST_F(PartitionTest, RootCoversWholePlane) {
+  p.add_node(make_node(1, 10, 10));
+  const RegionId root = p.create_root(NodeId{1});
+  EXPECT_EQ(p.region(root).rect, kPlane);
+  EXPECT_EQ(p.region(root).primary, (NodeId{1}));
+  EXPECT_EQ(p.region_count(), 1u);
+  EXPECT_TRUE(p.neighbors(root).empty());
+  expect_valid();
+}
+
+TEST_F(PartitionTest, FirstSplitIsLatitude) {
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 10, 50));
+  const RegionId root = p.create_root(NodeId{1});
+  const RegionId high = p.split(root, NodeId{2});
+  // Depth 0 splits the Y (latitude) dimension; owner at y=10 keeps the low
+  // half.
+  EXPECT_EQ(p.region(root).rect, (Rect{0, 0, 64, 32}));
+  EXPECT_EQ(p.region(high).rect, (Rect{0, 32, 64, 32}));
+  EXPECT_EQ(p.region(root).split_depth, 1);
+  EXPECT_EQ(p.region(high).split_depth, 1);
+  expect_valid();
+}
+
+TEST_F(PartitionTest, SecondSplitIsLongitude) {
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 10, 50));
+  p.add_node(make_node(3, 50, 10));
+  const RegionId root = p.create_root(NodeId{1});
+  p.split(root, NodeId{2});
+  const RegionId east = p.split(root, NodeId{3});
+  EXPECT_EQ(p.region(root).rect, (Rect{0, 0, 32, 32}));
+  EXPECT_EQ(p.region(east).rect, (Rect{32, 0, 32, 32}));
+  expect_valid();
+}
+
+TEST_F(PartitionTest, SplitKeepsOwnerCoveringHalf) {
+  p.add_node(make_node(1, 10, 50));  // owner in the NORTH half
+  p.add_node(make_node(2, 10, 10));
+  const RegionId root = p.create_root(NodeId{1});
+  const RegionId other = p.split(root, NodeId{2});
+  EXPECT_TRUE(p.region(root).rect.covers(Point{10, 50}));
+  EXPECT_EQ(p.region(other).rect, (Rect{0, 0, 64, 32}));
+}
+
+TEST_F(PartitionTest, AdjacencyAfterSplits) {
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 10, 50));
+  p.add_node(make_node(3, 50, 10));
+  const RegionId a = p.create_root(NodeId{1});
+  const RegionId b = p.split(a, NodeId{2});
+  const RegionId c = p.split(a, NodeId{3});
+  // a=<0,0,32,32>, c=<32,0,32,32>, b=<0,32,64,32>: all three pairwise
+  // adjacent.
+  EXPECT_EQ(p.neighbors(a).size(), 2u);
+  EXPECT_EQ(p.neighbors(b).size(), 2u);
+  EXPECT_EQ(p.neighbors(c).size(), 2u);
+  expect_valid();
+}
+
+TEST_F(PartitionTest, MergeRestoresRectangle) {
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 10, 50));
+  const RegionId a = p.create_root(NodeId{1});
+  const RegionId b = p.split(a, NodeId{2});
+  p.merge(a, b);
+  EXPECT_EQ(p.region_count(), 1u);
+  EXPECT_EQ(p.region(a).rect, kPlane);
+  EXPECT_TRUE(p.primary_regions(NodeId{2}).empty());
+  expect_valid();
+}
+
+TEST_F(PartitionTest, OwnershipIndexTracksSeats) {
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 50, 50));
+  const RegionId root = p.create_root(NodeId{1});
+  EXPECT_EQ(p.primary_regions(NodeId{1}).size(), 1u);
+  p.set_secondary(root, NodeId{2});
+  EXPECT_EQ(p.secondary_regions(NodeId{2}).size(), 1u);
+  EXPECT_TRUE(p.region(root).full());
+  p.swap_roles(root);
+  EXPECT_EQ(p.region(root).primary, (NodeId{2}));
+  EXPECT_EQ(*p.region(root).secondary, (NodeId{1}));
+  EXPECT_EQ(p.primary_regions(NodeId{2}).size(), 1u);
+  EXPECT_EQ(p.secondary_regions(NodeId{1}).size(), 1u);
+  p.clear_secondary(root);
+  EXPECT_FALSE(p.region(root).full());
+  EXPECT_TRUE(p.secondary_regions(NodeId{1}).empty());
+  expect_valid();
+}
+
+TEST_F(PartitionTest, SwapPrimariesBetweenRegions) {
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 10, 50));
+  const RegionId a = p.create_root(NodeId{1});
+  const RegionId b = p.split(a, NodeId{2});
+  p.swap_primaries(a, b);
+  EXPECT_EQ(p.region(a).primary, (NodeId{2}));
+  EXPECT_EQ(p.region(b).primary, (NodeId{1}));
+  expect_valid();
+}
+
+TEST_F(PartitionTest, SwapPrimaryWithSecondary) {
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 10, 50));
+  p.add_node(make_node(3, 20, 50));
+  const RegionId a = p.create_root(NodeId{1});
+  const RegionId b = p.split(a, NodeId{2});
+  p.set_secondary(b, NodeId{3});
+  p.swap_primary_with_secondary(a, b);
+  EXPECT_EQ(p.region(a).primary, (NodeId{3}));
+  EXPECT_EQ(*p.region(b).secondary, (NodeId{1}));
+  EXPECT_EQ(p.region(b).primary, (NodeId{2}));
+  expect_valid();
+}
+
+TEST_F(PartitionTest, LocateFindsCoveringRegion) {
+  p.add_node(make_node(1, 10, 10));
+  p.add_node(make_node(2, 10, 50));
+  p.add_node(make_node(3, 50, 10));
+  const RegionId a = p.create_root(NodeId{1});
+  const RegionId b = p.split(a, NodeId{2});
+  const RegionId c = p.split(a, NodeId{3});
+  EXPECT_EQ(p.locate({5, 5}), a);
+  EXPECT_EQ(p.locate({5, 60}), b);
+  EXPECT_EQ(p.locate({60, 5}), c);
+  EXPECT_EQ(p.locate({60, 5}, b), c);  // hint works too
+}
+
+TEST_F(PartitionTest, RetireLastRegion) {
+  p.add_node(make_node(1, 10, 10));
+  const RegionId root = p.create_root(NodeId{1});
+  p.retire_last_region(root);
+  EXPECT_EQ(p.region_count(), 0u);
+  EXPECT_TRUE(p.primary_regions(NodeId{1}).empty());
+  p.remove_node(NodeId{1});
+  EXPECT_EQ(p.node_count(), 0u);
+}
+
+TEST_F(PartitionTest, ValidateDetectsMissingPrimaryIndex) {
+  // validate() on a healthy partition reports nothing.
+  p.add_node(make_node(1, 10, 10));
+  p.create_root(NodeId{1});
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST_F(PartitionTest, AllocateNodeIdAvoidsCollisions) {
+  p.add_node(make_node(5, 1, 1));
+  const NodeId fresh = p.allocate_node_id();
+  EXPECT_GT(fresh.value, 5u);
+}
+
+}  // namespace
+}  // namespace geogrid::overlay

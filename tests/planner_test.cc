@@ -1,0 +1,298 @@
+// Adaptation planner: each of the eight mechanisms fires under its §2.4
+// conditions, respects the cost order, and executes correctly.
+#include "loadbalance/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "loadbalance/workload_index.h"
+#include "overlay/partition.h"
+
+namespace geogrid::loadbalance {
+namespace {
+
+using overlay::Partition;
+
+const Rect kPlane{0, 0, 64, 64};
+
+/// A 2x2 grid: SW (subject in most tests), SE, NW in ring 1 of SW and NE in
+/// ring 2 (corner-adjacent regions are not neighbors).
+class Grid2x2 : public ::testing::Test {
+ protected:
+  Grid2x2() : p(kPlane) {}
+
+  NodeId add(double capacity, double x, double y) {
+    net::NodeInfo n;
+    n.id = p.allocate_node_id();
+    n.coord = Point{x, y};
+    n.capacity = capacity;
+    return p.add_node(n);
+  }
+
+  /// Builds the grid with the given primary capacities.
+  void build(double cap_sw, double cap_se, double cap_nw, double cap_ne) {
+    const NodeId n_sw = add(cap_sw, 8, 8);
+    const NodeId n_nw = add(cap_nw, 8, 40);
+    const NodeId n_se = add(cap_se, 40, 8);
+    const NodeId n_ne = add(cap_ne, 40, 40);
+    sw = p.create_root(n_sw);
+    nw = p.split_explicit(sw, n_nw, /*give_high=*/true);   // split Y
+    se = p.split_explicit(sw, n_se, /*give_high=*/true);   // split X (south)
+    ne = p.split_explicit(nw, n_ne, /*give_high=*/true);   // split X (north)
+  }
+
+  overlay::LoadFn loads(double l_sw, double l_se, double l_nw, double l_ne) {
+    return [=, this](RegionId rid) {
+      if (rid == sw) return l_sw;
+      if (rid == se) return l_se;
+      if (rid == nw) return l_nw;
+      return l_ne;
+    };
+  }
+
+  void add_secondary(RegionId rid, double capacity) {
+    p.set_secondary(rid, add(capacity, 1, 1));
+  }
+
+  Partition p;
+  RegionId sw, se, nw, ne;
+  PlannerConfig config;
+};
+
+TEST_F(Grid2x2, GeometrySanity) {
+  build(1, 1, 1, 1);
+  EXPECT_EQ(p.region(sw).rect, (Rect{0, 0, 32, 32}));
+  EXPECT_EQ(p.region(se).rect, (Rect{32, 0, 32, 32}));
+  EXPECT_EQ(p.region(nw).rect, (Rect{0, 32, 32, 32}));
+  EXPECT_EQ(p.region(ne).rect, (Rect{32, 32, 32, 32}));
+  // SW neighbors SE and NW but not NE (corner touch).
+  const auto& n = p.neighbors(sw);
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+// (a) Steal Secondary Owner.
+TEST_F(Grid2x2, StealSecondaryFromQualifyingNeighbor) {
+  build(1, 10, 10, 10);
+  add_secondary(se, 100.0);  // strong donor secondary
+  const auto load = loads(10, 1, 1, 0);
+  const Plan plan = plan_adaptation(p, load, sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kStealSecondary);
+  EXPECT_EQ(plan.partner, se);
+
+  const NodeId old_primary = p.region(sw).primary;
+  const NodeId stolen = *p.region(se).secondary;
+  ASSERT_TRUE(execute_plan(p, plan));
+  EXPECT_EQ(p.region(sw).primary, stolen);      // stolen node leads
+  EXPECT_EQ(*p.region(sw).secondary, old_primary);  // old primary resigns
+  EXPECT_FALSE(p.region(se).full());
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST_F(Grid2x2, StealPrefersLowestIndexDonor) {
+  build(1, 10, 10, 10);
+  add_secondary(se, 100.0);
+  add_secondary(nw, 100.0);
+  // nw is less loaded than se: it must donate.
+  const Plan plan = plan_adaptation(p, loads(10, 5, 1, 0), sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kStealSecondary);
+  EXPECT_EQ(plan.partner, nw);
+}
+
+TEST_F(Grid2x2, StealRequiresStrongerSecondary) {
+  build(10, 10, 10, 10);
+  add_secondary(se, 5.0);  // weaker than the subject's primary
+  const Plan plan = plan_adaptation(p, loads(10, 1, 20, 0), sw, config);
+  EXPECT_TRUE(!plan.valid || plan.mechanism != Mechanism::kStealSecondary);
+}
+
+// (b) Switch Primary Owners.
+TEST_F(Grid2x2, SwitchPrimaryImprovesPairwiseMax) {
+  build(1, 100, 1, 1);
+  const auto load = loads(10, 1, 20, 0);  // sw idx 10; se idx 0.01
+  const Plan plan = plan_adaptation(p, load, sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kSwitchPrimary);
+  EXPECT_EQ(plan.partner, se);
+
+  const NodeId weak = p.region(sw).primary;
+  const NodeId strong = p.region(se).primary;
+  ASSERT_TRUE(execute_plan(p, plan));
+  EXPECT_EQ(p.region(sw).primary, strong);
+  EXPECT_EQ(p.region(se).primary, weak);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST_F(Grid2x2, SwitchPrimaryRejectedWithoutImprovement) {
+  build(1, 100, 1, 1);
+  // The strong neighbor is itself so loaded that swapping makes things
+  // worse: 50/1 = 50 > old max 10.
+  const Plan plan = plan_adaptation(p, loads(10, 50, 100, 0), sw, config);
+  EXPECT_NE(plan.mechanism, Mechanism::kSwitchPrimary);
+}
+
+// (c) Merge with a Neighbor.
+TEST_F(Grid2x2, MergeWhenUnionLowersIndex) {
+  build(1, 100, 1, 1);
+  // (b) is not improving: se load 50 on the weak node would dominate.
+  const auto load = loads(2, 50, 100, 0);
+  // sw idx 2; se idx 0.5; merged = 52/100 = 0.52 < avg(2, 0.5) = 1.25.
+  const Plan plan = plan_adaptation(p, load, sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kMergeNeighbor);
+  EXPECT_EQ(plan.partner, se);
+
+  const NodeId weak = p.region(sw).primary;
+  ASSERT_TRUE(execute_plan(p, plan));
+  // The stronger primary keeps the merged region; the weak one becomes its
+  // secondary, so no node loses its seat.
+  EXPECT_FALSE(p.has_region(sw));
+  EXPECT_EQ(p.region(se).rect, (Rect{0, 0, 64, 32}));
+  EXPECT_EQ(*p.region(se).secondary, weak);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST_F(Grid2x2, MergeSkipsFullRegions) {
+  build(1, 100, 1, 1);
+  add_secondary(se, 5.0);  // donor now full: merging would evict a seat
+  const Plan plan = plan_adaptation(p, loads(2, 50, 100, 0), sw, config);
+  EXPECT_NE(plan.mechanism, Mechanism::kMergeNeighbor);
+}
+
+// (d) Split a Region.
+TEST_F(Grid2x2, SplitWhenDualPeersHaveEqualCapacity) {
+  build(10, 10, 10, 10);
+  add_secondary(sw, 10.0);  // equal capacities
+  const Plan plan = plan_adaptation(p, loads(10, 1, 1, 0), sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kSplitRegion);
+
+  const std::size_t regions_before = p.region_count();
+  ASSERT_TRUE(execute_plan(p, plan));
+  EXPECT_EQ(p.region_count(), regions_before + 1);
+  EXPECT_FALSE(p.region(sw).full());
+  EXPECT_TRUE(p.validate().empty());
+}
+
+// (e) Switch Primary with a Neighbor's Secondary.
+TEST_F(Grid2x2, SwitchWithNeighborSecondary) {
+  build(2, 2, 2, 2);
+  add_secondary(sw, 1.0);    // subject full, unequal caps (skips d)
+  add_secondary(se, 100.0);  // strong secondary next door
+  const auto load = loads(10, 1, 20, 0);
+  const Plan plan = plan_adaptation(p, load, sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kSwitchWithNeighborSecondary);
+  EXPECT_EQ(plan.partner, se);
+
+  const NodeId weak = p.region(sw).primary;
+  const NodeId strong = *p.region(se).secondary;
+  ASSERT_TRUE(execute_plan(p, plan));
+  EXPECT_EQ(p.region(sw).primary, strong);
+  EXPECT_EQ(*p.region(se).secondary, weak);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+// (f) Steal Remote Secondary (ring 2 via TTL search).
+TEST_F(Grid2x2, StealRemoteSecondary) {
+  build(1, 1, 1, 5);
+  add_secondary(ne, 100.0);  // ring-2 donor
+  // Ring-1 regions are weak, loaded enough to fail (b)/(c).
+  const auto load = loads(10, 5, 5, 0.5);
+  const Plan plan = plan_adaptation(p, load, sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kStealRemoteSecondary);
+  EXPECT_EQ(plan.partner, ne);
+
+  const NodeId stolen = *p.region(ne).secondary;
+  ASSERT_TRUE(execute_plan(p, plan));
+  EXPECT_EQ(p.region(sw).primary, stolen);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST_F(Grid2x2, RemoteStealRequiresLessLoadedDonor) {
+  build(1, 1, 1, 1);
+  add_secondary(ne, 100.0);
+  // Donor index (20/1) exceeds the subject's (10/1): not "less loaded".
+  const Plan plan = plan_adaptation(p, loads(10, 5, 5, 20), sw, config);
+  EXPECT_NE(plan.mechanism, Mechanism::kStealRemoteSecondary);
+}
+
+// (g) Switch Primary with Remote Secondary.
+TEST_F(Grid2x2, SwitchWithRemoteSecondary) {
+  build(2, 2, 2, 2);
+  add_secondary(sw, 1.0);
+  add_secondary(ne, 100.0);
+  const auto load = loads(10, 5, 5, 0.5);
+  const Plan plan = plan_adaptation(p, load, sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kSwitchWithRemoteSecondary);
+  EXPECT_EQ(plan.partner, ne);
+
+  const NodeId weak = p.region(sw).primary;
+  ASSERT_TRUE(execute_plan(p, plan));
+  EXPECT_EQ(*p.region(ne).secondary, weak);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+// (h) Switch Primary with Remote Primary.
+TEST_F(Grid2x2, SwitchWithRemotePrimary) {
+  build(2, 2, 2, 100);
+  add_secondary(sw, 1.0);
+  const auto load = loads(10, 5, 5, 0.1);
+  const Plan plan = plan_adaptation(p, load, sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kSwitchWithRemotePrimary);
+  EXPECT_EQ(plan.partner, ne);
+
+  const NodeId weak = p.region(sw).primary;
+  const NodeId strong = p.region(ne).primary;
+  ASSERT_TRUE(execute_plan(p, plan));
+  EXPECT_EQ(p.region(sw).primary, strong);
+  EXPECT_EQ(p.region(ne).primary, weak);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+// Cost ordering: a cheaper mechanism always wins when several apply.
+TEST_F(Grid2x2, CheapestApplicableMechanismWins) {
+  build(1, 100, 10, 10);
+  add_secondary(se, 200.0);  // (a) applicable
+  // (b) would also apply (cap 100 > 1, improving).
+  const Plan plan = plan_adaptation(p, loads(10, 1, 1, 0), sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kStealSecondary);
+}
+
+// Ablation switches disable individual mechanisms.
+TEST_F(Grid2x2, DisabledMechanismIsSkipped) {
+  build(1, 100, 10, 10);
+  add_secondary(se, 200.0);
+  config.enabled[static_cast<std::size_t>(Mechanism::kStealSecondary)] =
+      false;
+  const Plan plan = plan_adaptation(p, loads(10, 1, 1, 0), sw, config);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.mechanism, Mechanism::kSwitchPrimary);
+}
+
+TEST_F(Grid2x2, NoMechanismReturnsInvalidPlan) {
+  build(10, 10, 10, 10);  // homogeneous, nothing to gain anywhere
+  const Plan plan = plan_adaptation(p, loads(10, 10, 10, 10), sw, config);
+  EXPECT_FALSE(plan.valid);
+}
+
+TEST_F(Grid2x2, StalePlanExecutionFailsSafely) {
+  build(1, 10, 10, 10);
+  add_secondary(se, 100.0);
+  Plan plan = plan_adaptation(p, loads(10, 1, 1, 0), sw, config);
+  ASSERT_TRUE(plan.valid);
+  // The donor's secondary vanishes before execution.
+  p.clear_secondary(se);
+  EXPECT_FALSE(execute_plan(p, plan));
+  EXPECT_TRUE(p.validate().empty());  // partition untouched
+}
+
+}  // namespace
+}  // namespace geogrid::loadbalance

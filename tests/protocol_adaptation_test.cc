@@ -1,0 +1,134 @@
+// Protocol-mode load-balance adaptation: the message handshakes move owner
+// seats and reduce imbalance, with no global coordinator.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/cluster.h"
+
+namespace geogrid::core {
+namespace {
+
+Cluster::Options adaptive_options(std::uint64_t seed) {
+  Cluster::Options opt;
+  opt.node.mode = GridMode::kDualPeerAdaptive;
+  opt.seed = seed;
+  return opt;
+}
+
+/// Std-dev of per-node workload indexes across the cluster.
+double imbalance(Cluster& cluster) {
+  RunningStats rs;
+  for (const auto& node : cluster.nodes()) {
+    if (node->joined()) rs.add(node->workload_index());
+  }
+  return rs.stddev();
+}
+
+class ProtocolAdaptationTest : public ::testing::Test {
+ protected:
+  ProtocolAdaptationTest()
+      : cluster_(adaptive_options(77)), field_rng_(123),
+        field_(field_options(), field_rng_) {}
+
+  static workload::HotSpotField::Options field_options() {
+    workload::HotSpotField::Options opt;
+    opt.cells_x = 128;
+    opt.cells_y = 128;
+    opt.hotspot_count = 6;
+    return opt;
+  }
+
+  /// Runs `seconds` of virtual time, refreshing node loads from the field
+  /// every second (ownership moves change which node carries which load).
+  void run_with_loads(double seconds) {
+    for (int i = 0; i < static_cast<int>(seconds); ++i) {
+      cluster_.apply_field(field_);
+      cluster_.run_for(1.0);
+    }
+  }
+
+  Cluster cluster_;
+  Rng field_rng_;
+  workload::HotSpotField field_;
+};
+
+TEST_F(ProtocolAdaptationTest, HandshakesExecuteAndImproveBalance) {
+  for (int i = 0; i < 60; ++i) cluster_.spawn();
+  ASSERT_TRUE(cluster_.run_until_joined());
+  cluster_.run_for(20);
+
+  cluster_.apply_field(field_);
+  const double before = imbalance(cluster_);
+
+  run_with_loads(120.0);  // many adaptation ticks
+
+  std::uint64_t started = 0, completed = 0;
+  for (const auto& node : cluster_.nodes()) {
+    started += node->counters().adaptations_started;
+    completed += node->counters().adaptations_completed;
+  }
+  EXPECT_GT(started, 0u);
+  EXPECT_GT(completed, 0u);
+  EXPECT_LE(completed, started);
+
+  cluster_.apply_field(field_);
+  const double after = imbalance(cluster_);
+  EXPECT_LT(after, before);
+
+  const auto errors = cluster_.check_consistency();
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST_F(ProtocolAdaptationTest, AdaptationSurvivesMovingHotspots) {
+  for (int i = 0; i < 50; ++i) cluster_.spawn();
+  ASSERT_TRUE(cluster_.run_until_joined());
+  cluster_.run_for(20);
+
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    field_.migrate(field_rng_, 4 + epoch % 7);
+    run_with_loads(30.0);
+    const auto errors = cluster_.check_consistency();
+    ASSERT_TRUE(errors.empty())
+        << "epoch " << epoch << ": " << errors.front();
+  }
+}
+
+TEST(ProtocolAdaptation, NoLoadMeansNoAdaptations) {
+  Cluster cluster(adaptive_options(88));
+  for (int i = 0; i < 30; ++i) cluster.spawn();
+  ASSERT_TRUE(cluster.run_until_joined());
+  cluster.run_for(120);  // no loads ever applied
+
+  std::uint64_t started = 0;
+  for (const auto& node : cluster.nodes()) {
+    started += node->counters().adaptations_started;
+  }
+  EXPECT_EQ(started, 0u);
+}
+
+TEST(ProtocolAdaptation, DualPeerModeDoesNotAdapt) {
+  Cluster::Options opt;
+  opt.node.mode = GridMode::kDualPeer;  // adaptation disabled by mode
+  opt.seed = 99;
+  Cluster cluster(opt);
+  for (int i = 0; i < 30; ++i) cluster.spawn();
+  ASSERT_TRUE(cluster.run_until_joined());
+
+  Rng rng(5);
+  workload::HotSpotField field(
+      workload::HotSpotField::Options{.cells_x = 64, .cells_y = 64,
+                                      .hotspot_count = 5},
+      rng);
+  for (int i = 0; i < 60; ++i) {
+    cluster.apply_field(field);
+    cluster.run_for(1.0);
+  }
+  std::uint64_t started = 0;
+  for (const auto& node : cluster.nodes()) {
+    started += node->counters().adaptations_started;
+  }
+  EXPECT_EQ(started, 0u);
+}
+
+}  // namespace
+}  // namespace geogrid::core

@@ -1,0 +1,121 @@
+// Protocol-mode joins: real message exchanges build a consistent grid.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace geogrid::core {
+namespace {
+
+Cluster::Options options(GridMode mode, std::uint64_t seed) {
+  Cluster::Options opt;
+  opt.node.mode = mode;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(ProtocolJoin, FounderOwnsWholePlane) {
+  Cluster cluster(options(GridMode::kBasic, 1));
+  auto& first = cluster.spawn_at({10, 10}, 10.0);
+  ASSERT_TRUE(cluster.run_until_joined());
+  ASSERT_EQ(first.owned().size(), 1u);
+  EXPECT_EQ(first.owned().begin()->second.rect, (Rect{0, 0, 64, 64}));
+}
+
+TEST(ProtocolJoin, BasicModeSplitsPerJoiner) {
+  Cluster cluster(options(GridMode::kBasic, 2));
+  for (int i = 0; i < 40; ++i) cluster.spawn();
+  ASSERT_TRUE(cluster.run_until_joined());
+  cluster.run_for(20);
+  std::size_t regions = 0;
+  for (const auto& node : cluster.nodes()) regions += node->owned().size();
+  EXPECT_EQ(regions, 40u);  // one region per node in basic mode
+  EXPECT_TRUE(cluster.check_consistency().empty());
+}
+
+TEST(ProtocolJoin, DualPeerFillsSeatsBeforeSplitting) {
+  Cluster cluster(options(GridMode::kDualPeer, 3));
+  for (int i = 0; i < 60; ++i) cluster.spawn();
+  ASSERT_TRUE(cluster.run_until_joined());
+  cluster.run_for(20);
+  const auto errors = cluster.check_consistency();
+  EXPECT_TRUE(errors.empty()) << errors.front();
+
+  std::size_t primaries = 0, secondaries = 0;
+  for (const auto& node : cluster.nodes()) {
+    for (const auto& [rid, region] : node->owned()) {
+      (region.is_primary() ? primaries : secondaries) += 1;
+    }
+  }
+  EXPECT_EQ(primaries + secondaries, 60u);
+  // Most regions should be full (paper: dual peer halves region count).
+  EXPECT_GT(secondaries, 15u);
+  EXPECT_LT(primaries, 45u);
+}
+
+TEST(ProtocolJoin, StrongerJoinerBecomesPrimary) {
+  Cluster cluster(options(GridMode::kDualPeer, 4));
+  auto& weak = cluster.spawn_at({10, 10}, 1.0);
+  auto& strong = cluster.spawn_at({50, 50}, 1000.0);
+  ASSERT_TRUE(cluster.run_until_joined());
+  cluster.run_for(5);
+  ASSERT_EQ(strong.owned().size(), 1u);
+  EXPECT_TRUE(strong.owned().begin()->second.is_primary());
+  ASSERT_EQ(weak.owned().size(), 1u);
+  EXPECT_FALSE(weak.owned().begin()->second.is_primary());
+}
+
+TEST(ProtocolJoin, NeighborTablesMirrorGeometry) {
+  Cluster cluster(options(GridMode::kBasic, 5));
+  for (int i = 0; i < 25; ++i) cluster.spawn();
+  ASSERT_TRUE(cluster.run_until_joined());
+  cluster.run_for(30);  // let gossip settle
+
+  // Collect the authoritative region map from all nodes.
+  std::map<RegionId, Rect> rects;
+  for (const auto& node : cluster.nodes()) {
+    for (const auto& [rid, region] : node->owned()) rects[rid] = region.rect;
+  }
+  // Every recorded neighbor entry must be geometrically adjacent and
+  // up to date with the owner's actual rectangle.
+  for (const auto& node : cluster.nodes()) {
+    for (const auto& [rid, region] : node->owned()) {
+      for (const auto& [nid, snap] : region.neighbors) {
+        ASSERT_TRUE(rects.contains(nid)) << "stale neighbor " << nid;
+        EXPECT_TRUE(region.rect.edge_adjacent(rects.at(nid)))
+            << "non-adjacent neighbor entry";
+      }
+    }
+  }
+}
+
+TEST(ProtocolJoin, ModesAgreeWithEngineOnRegionBudget) {
+  // Protocol dual-peer networks land in the same region-count band the
+  // engine produces: roughly half the node count.
+  Cluster cluster(options(GridMode::kDualPeer, 6));
+  for (int i = 0; i < 80; ++i) cluster.spawn();
+  ASSERT_TRUE(cluster.run_until_joined());
+  cluster.run_for(10);
+  std::size_t regions = 0;
+  for (const auto& node : cluster.nodes()) {
+    for (const auto& [rid, region] : node->owned()) {
+      regions += region.is_primary() ? 1 : 0;
+    }
+  }
+  EXPECT_GE(regions, 80u * 2 / 5);
+  EXPECT_LE(regions, 80u * 4 / 5);
+}
+
+TEST(ProtocolJoin, JoinsAreRoutedNotDirect) {
+  Cluster cluster(options(GridMode::kBasic, 7));
+  for (int i = 0; i < 30; ++i) cluster.spawn();
+  ASSERT_TRUE(cluster.run_until_joined());
+  // Forwarded Routed envelopes prove greedy multi-hop routing happened.
+  std::uint64_t forwarded = 0;
+  for (const auto& node : cluster.nodes()) {
+    forwarded += node->counters().routed_forwarded;
+  }
+  EXPECT_GT(forwarded, 0u);
+}
+
+}  // namespace
+}  // namespace geogrid::core

@@ -1,0 +1,97 @@
+#include "workload/query_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace geogrid::workload {
+namespace {
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  QueryGenTest() : rng_(1), field_(field_options(), rng_) {
+    field_.mutable_hotspots().push_back(HotSpot{{40, 40}, 5.0});
+    field_.rebuild();
+  }
+
+  static HotSpotField::Options field_options() {
+    HotSpotField::Options opt;
+    opt.cells_x = 64;
+    opt.cells_y = 64;
+    opt.hotspot_count = 0;
+    return opt;
+  }
+
+  Rng rng_;
+  HotSpotField field_;
+};
+
+TEST_F(QueryGenTest, AreasStayOnPlane) {
+  QueryGenerator gen(field_, {}, Rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    const Rect a = gen.next_area();
+    EXPECT_GE(a.x, 0.0);
+    EXPECT_GE(a.y, 0.0);
+    EXPECT_LE(a.right(), 64.0 + kGeoEps);
+    EXPECT_LE(a.top(), 64.0 + kGeoEps);
+    EXPECT_GT(a.area(), 0.0);
+  }
+}
+
+TEST_F(QueryGenTest, RadiusMapsToSquareSides) {
+  QueryGenerator::Options opt;
+  opt.min_radius_miles = 1.0;
+  opt.max_radius_miles = 1.0;
+  opt.background_fraction = 0.0;
+  QueryGenerator gen(field_, opt, Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    const Rect a = gen.next_area();
+    // A radius-γ circular query becomes a (2γ x 2γ) rectangle, clipped.
+    EXPECT_LE(a.width, 2.0 + 1e-9);
+    EXPECT_LE(a.height, 2.0 + 1e-9);
+  }
+}
+
+TEST_F(QueryGenTest, QueriesConcentrateOnHotSpot) {
+  QueryGenerator::Options opt;
+  opt.background_fraction = 0.0;
+  QueryGenerator gen(field_, opt, Rng(4));
+  int hot = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Rect a = gen.next_area();
+    if (distance(a.center(), {40, 40}) < 8.0) ++hot;
+  }
+  EXPECT_GT(hot, 450);
+}
+
+TEST_F(QueryGenTest, QueryIdsAreUniqueAndMonotonic) {
+  QueryGenerator gen(field_, {}, Rng(5));
+  net::NodeInfo focal;
+  focal.id = NodeId{1};
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto q = gen.next_query(focal);
+    EXPECT_GT(q.query_id, last);
+    last = q.query_id;
+  }
+  EXPECT_EQ(gen.issued(), 100u);
+}
+
+TEST_F(QueryGenTest, QueriesCarryFocalAndFilter) {
+  QueryGenerator gen(field_, {}, Rng(6));
+  net::NodeInfo focal;
+  focal.id = NodeId{77};
+  const auto q = gen.next_query(focal);
+  EXPECT_EQ(q.focal.id, (NodeId{77}));
+  EXPECT_FALSE(q.filter.empty());
+}
+
+TEST_F(QueryGenTest, SubscriptionsCarryDuration) {
+  QueryGenerator gen(field_, {}, Rng(7));
+  net::NodeInfo subscriber;
+  subscriber.id = NodeId{8};
+  const auto s = gen.next_subscription(subscriber, 1800.0);
+  EXPECT_DOUBLE_EQ(s.duration, 1800.0);
+  EXPECT_EQ(s.subscriber.id, (NodeId{8}));
+}
+
+}  // namespace
+}  // namespace geogrid::workload

@@ -1,0 +1,66 @@
+// ASCII partition/field rendering and id formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ascii_render.h"
+#include "common/ids.h"
+
+namespace geogrid {
+namespace {
+
+TEST(Ids, ValidityAndFormatting) {
+  EXPECT_FALSE(kInvalidNode.valid());
+  EXPECT_TRUE((NodeId{3}).valid());
+  std::ostringstream os;
+  os << NodeId{7} << ' ' << RegionId{9} << ' ' << kInvalidRegion;
+  EXPECT_EQ(os.str(), "n7 r9 r<invalid>");
+}
+
+TEST(Ids, OrderingAndHashing) {
+  EXPECT_LT((NodeId{1}), (NodeId{2}));
+  EXPECT_EQ(std::hash<NodeId>{}(NodeId{5}), std::hash<NodeId>{}(NodeId{5}));
+  EXPECT_LT((NodeId{5}), kInvalidNode);  // invalid sorts last
+}
+
+TEST(Render, PartitionShowsBordersAndShades) {
+  // Region boundary at x=25 is deliberately unaligned with the character
+  // raster so border cells land within the marking threshold.
+  const Rect plane{0, 0, 60, 60};
+  const std::vector<ShadedRect> regions{
+      {Rect{0, 0, 25, 60}, 0.0},
+      {Rect{25, 0, 35, 60}, 1.0},
+  };
+  const std::string art = render_partition(plane, regions, 8, 15);
+  EXPECT_NE(art.find('|'), std::string::npos);   // vertical border
+  EXPECT_NE(art.find('@'), std::string::npos);   // hottest shade
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 8);
+  // No '?' cells: every sample point was covered by some region.
+  EXPECT_EQ(art.find('?'), std::string::npos);
+}
+
+TEST(Render, UncoveredCellsAreMarked) {
+  const Rect plane{0, 0, 64, 64};
+  const std::vector<ShadedRect> regions{{Rect{0, 0, 32, 64}, 0.5}};
+  const std::string art = render_partition(plane, regions, 4, 8);
+  EXPECT_NE(art.find('?'), std::string::npos);  // east half uncovered
+}
+
+TEST(Render, FieldRampIsMonotonic) {
+  const Rect plane{0, 0, 64, 64};
+  const auto field = [](Point p) { return p.x; };  // brighter to the east
+  const std::string art = render_field(plane, field, 1, 16);
+  // Westmost cell must be the dimmest character, eastmost the brightest.
+  EXPECT_EQ(art.front(), ' ');
+  EXPECT_EQ(art[15], '@');
+}
+
+TEST(Render, ZeroFieldRendersBlank) {
+  const Rect plane{0, 0, 64, 64};
+  const std::string art =
+      render_field(plane, [](Point) { return 0.0; }, 2, 4);
+  for (char c : art) EXPECT_TRUE(c == ' ' || c == '\n');
+}
+
+}  // namespace
+}  // namespace geogrid

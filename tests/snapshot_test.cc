@@ -1,0 +1,72 @@
+// Snapshot construction from the partition.
+#include "overlay/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "overlay/partition.h"
+
+namespace geogrid::overlay {
+namespace {
+
+net::NodeInfo make_node(std::uint32_t id, double cap) {
+  net::NodeInfo n;
+  n.id = NodeId{id};
+  n.coord = Point{10, 10};
+  n.capacity = cap;
+  return n;
+}
+
+TEST(Snapshot, CarriesOwnershipAndLoad) {
+  Partition p(Rect{0, 0, 64, 64});
+  p.add_node(make_node(1, 10.0));
+  p.add_node(make_node(2, 100.0));
+  const RegionId root = p.create_root(NodeId{1});
+  p.set_secondary(root, NodeId{2});
+
+  const auto snap =
+      make_snapshot(p, root, [](RegionId) { return 5.0; });
+  EXPECT_EQ(snap.region, root);
+  EXPECT_EQ(snap.rect, (Rect{0, 0, 64, 64}));
+  EXPECT_EQ(snap.primary.id, (NodeId{1}));
+  ASSERT_TRUE(snap.secondary.has_value());
+  EXPECT_EQ(snap.secondary->id, (NodeId{2}));
+  EXPECT_DOUBLE_EQ(snap.load, 5.0);
+  EXPECT_DOUBLE_EQ(snap.workload_index, 0.5);
+  EXPECT_TRUE(snap.full());
+  EXPECT_DOUBLE_EQ(snap.primary_available(), 5.0);
+}
+
+TEST(Snapshot, AvailableCapacityFloorsAtZero) {
+  Partition p(Rect{0, 0, 64, 64});
+  p.add_node(make_node(1, 2.0));
+  const RegionId root = p.create_root(NodeId{1});
+  const auto snap =
+      make_snapshot(p, root, [](RegionId) { return 50.0; });
+  EXPECT_DOUBLE_EQ(snap.primary_available(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.workload_index, 25.0);
+}
+
+TEST(Snapshot, NeighborSnapshotsCoverAllLinks) {
+  Partition p(Rect{0, 0, 64, 64});
+  p.add_node(make_node(1, 10.0));
+  p.add_node(make_node(2, 10.0));
+  p.add_node(make_node(3, 10.0));
+  const RegionId a = p.create_root(NodeId{1});
+  p.split_explicit(a, NodeId{2}, true);
+  p.split_explicit(a, NodeId{3}, true);
+  const auto snaps =
+      neighbor_snapshots(p, a, [](RegionId) { return 0.0; });
+  EXPECT_EQ(snaps.size(), p.neighbors(a).size());
+}
+
+TEST(Snapshot, NullLoadFnMeansZeroLoad) {
+  Partition p(Rect{0, 0, 64, 64});
+  p.add_node(make_node(1, 10.0));
+  const RegionId root = p.create_root(NodeId{1});
+  const auto snap = make_snapshot(p, root, nullptr);
+  EXPECT_DOUBLE_EQ(snap.load, 0.0);
+  EXPECT_DOUBLE_EQ(snap.workload_index, 0.0);
+}
+
+}  // namespace
+}  // namespace geogrid::overlay

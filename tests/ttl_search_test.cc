@@ -1,0 +1,97 @@
+// TTL-guided remote search over the region adjacency graph.
+#include "loadbalance/ttl_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "overlay/basic_ops.h"
+#include "overlay/partition.h"
+
+namespace geogrid::loadbalance {
+namespace {
+
+using overlay::Partition;
+
+net::NodeInfo make_node(std::uint32_t id, double x, double y) {
+  net::NodeInfo n;
+  n.id = NodeId{id};
+  n.coord = Point{x, y};
+  n.capacity = 10.0;
+  return n;
+}
+
+/// Exactly uniform 4x4 grid (16 congruent 16x16-mile regions) built by
+/// splitting every region once per round.
+Partition grid16() {
+  Partition p(Rect{0, 0, 64, 64});
+  std::uint32_t id = 1;
+  p.add_node(make_node(id, 8, 8));
+  p.create_root(NodeId{id});
+  ++id;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<RegionId> existing;
+    for (const auto& [rid, r] : p.regions()) existing.push_back(rid);
+    for (const RegionId rid : existing) {
+      p.add_node(make_node(id, 8, 8));
+      p.split_explicit(rid, NodeId{id}, /*give_high=*/true);
+      ++id;
+    }
+  }
+  return p;
+}
+
+TEST(TtlSearch, ExcludesOriginAndRingOne) {
+  const Partition p = grid16();
+  const RegionId corner = p.locate({1, 1});
+  const auto remote = remote_regions(p, corner, 2);
+  EXPECT_FALSE(remote.empty());
+  EXPECT_EQ(std::count(remote.begin(), remote.end(), corner), 0);
+  for (const RegionId n : p.neighbors(corner)) {
+    EXPECT_EQ(std::count(remote.begin(), remote.end(), n), 0);
+  }
+}
+
+TEST(TtlSearch, RingTwoOfCornerHasThreeRegions) {
+  const Partition p = grid16();
+  const RegionId corner = p.locate({1, 1});
+  // From a corner of a 4x4 grid: ring 2 = {(2,0), (1,1), (0,2)}.
+  const auto remote = remote_regions(p, corner, 2);
+  EXPECT_EQ(remote.size(), 3u);
+}
+
+TEST(TtlSearch, LargerTtlReachesFurther) {
+  const Partition p = grid16();
+  const RegionId corner = p.locate({1, 1});
+  const auto r2 = remote_regions(p, corner, 2);
+  const auto r3 = remote_regions(p, corner, 3);
+  const auto r6 = remote_regions(p, corner, 6);
+  EXPECT_LT(r2.size(), r3.size());
+  // TTL 6 covers the full 4x4 grid minus origin and ring 1.
+  EXPECT_EQ(r6.size(), 16u - 1u - p.neighbors(corner).size());
+}
+
+TEST(TtlSearch, NoDuplicates) {
+  const Partition p = grid16();
+  const RegionId center = p.locate({24, 24});
+  auto remote = remote_regions(p, center, 4);
+  auto sorted = remote;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(TtlSearch, TtlBelowTwoFindsNothing) {
+  const Partition p = grid16();
+  const RegionId corner = p.locate({1, 1});
+  EXPECT_TRUE(remote_regions(p, corner, 1).empty());
+  EXPECT_TRUE(remote_regions(p, corner, 0).empty());
+}
+
+TEST(TtlSearch, UnknownOriginFindsNothing) {
+  const Partition p = grid16();
+  EXPECT_TRUE(remote_regions(p, RegionId{9999}, 3).empty());
+}
+
+}  // namespace
+}  // namespace geogrid::loadbalance

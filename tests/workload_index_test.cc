@@ -1,0 +1,106 @@
+// Workload index and the sqrt(2) adaptation trigger.
+#include "loadbalance/workload_index.h"
+
+#include <gtest/gtest.h>
+
+#include "overlay/basic_ops.h"
+
+namespace geogrid::loadbalance {
+namespace {
+
+using overlay::Partition;
+
+const Rect kPlane{0, 0, 64, 64};
+
+net::NodeInfo make_node(std::uint32_t id, double x, double y,
+                        double capacity) {
+  net::NodeInfo n;
+  n.id = NodeId{id};
+  n.coord = Point{x, y};
+  n.capacity = capacity;
+  return n;
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() {
+    overlay::basic_join(p, make_node(1, 10, 10, 10.0));  // SW
+    overlay::basic_join(p, make_node(2, 10, 50, 100.0)); // N
+    overlay::basic_join(p, make_node(3, 50, 10, 10.0));  // SE
+    r1 = p.primary_regions(NodeId{1}).front();
+    r2 = p.primary_regions(NodeId{2}).front();
+    r3 = p.primary_regions(NodeId{3}).front();
+  }
+
+  overlay::LoadFn loads(double l1, double l2, double l3) {
+    return [=, this](RegionId rid) {
+      if (rid == r1) return l1;
+      if (rid == r2) return l2;
+      return l3;
+    };
+  }
+
+  Partition p{kPlane};
+  RegionId r1, r2, r3;
+};
+
+TEST_F(IndexTest, NodeIndexIsLoadOverCapacity) {
+  const auto load = loads(5.0, 20.0, 0.0);
+  EXPECT_DOUBLE_EQ(node_index(p, load, NodeId{1}), 0.5);
+  EXPECT_DOUBLE_EQ(node_index(p, load, NodeId{2}), 0.2);
+  EXPECT_DOUBLE_EQ(node_index(p, load, NodeId{3}), 0.0);
+}
+
+TEST_F(IndexTest, RegionIndexUsesPrimaryCapacity) {
+  const auto load = loads(5.0, 20.0, 0.0);
+  EXPECT_DOUBLE_EQ(region_index(p, load, r2), 0.2);
+}
+
+TEST_F(IndexTest, NeighborOwnersExcludeSelf) {
+  const auto owners = neighbor_owners(p, NodeId{1});
+  EXPECT_EQ(owners.size(), 2u);
+  for (const NodeId o : owners) EXPECT_NE(o, (NodeId{1}));
+}
+
+TEST_F(IndexTest, MinNeighborIndex) {
+  const auto load = loads(5.0, 20.0, 1.0);
+  // Node 1's neighbors: node 2 (idx 0.2), node 3 (idx 0.1).
+  EXPECT_DOUBLE_EQ(min_neighbor_index(p, load, NodeId{1}), 0.1);
+}
+
+TEST_F(IndexTest, TriggerRequiresSqrtTwoRatio) {
+  // Node 1 idx = load/10; min neighbor = 0.1.
+  // Trigger iff idx > sqrt(2) * 0.1 = 0.1414...
+  EXPECT_FALSE(should_adapt(p, loads(1.4, 20.0, 1.0), NodeId{1},
+                            std::numbers::sqrt2));
+  EXPECT_TRUE(should_adapt(p, loads(1.5, 20.0, 1.0), NodeId{1},
+                           std::numbers::sqrt2));
+}
+
+TEST_F(IndexTest, ZeroLoadNeverTriggers) {
+  EXPECT_FALSE(should_adapt(p, loads(0.0, 0.0, 0.0), NodeId{1},
+                            std::numbers::sqrt2));
+}
+
+TEST_F(IndexTest, AllNodeIndexesCoversEveryNode) {
+  const auto v = all_node_indexes(p, loads(1.0, 2.0, 3.0));
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(IndexSingle, IsolatedRootNeverTriggers) {
+  Partition p(kPlane);
+  overlay::basic_join(p, make_node(1, 10, 10, 10.0));
+  const overlay::LoadFn load = [](RegionId) { return 100.0; };
+  EXPECT_FALSE(should_adapt(p, load, NodeId{1}, std::numbers::sqrt2));
+}
+
+TEST_F(IndexTest, MultiRegionOwnerSumsLoads) {
+  // Hand node 1 a second region (caretaker scenario).
+  p.set_primary(r3, NodeId{1});
+  const auto load = loads(5.0, 0.0, 15.0);
+  EXPECT_DOUBLE_EQ(node_load(p, load, NodeId{1}), 20.0);
+  EXPECT_DOUBLE_EQ(node_index(p, load, NodeId{1}), 2.0);
+}
+
+}  // namespace
+}  // namespace geogrid::loadbalance
