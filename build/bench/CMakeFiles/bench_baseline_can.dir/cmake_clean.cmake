@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_can.dir/baseline_can.cc.o"
+  "CMakeFiles/bench_baseline_can.dir/baseline_can.cc.o.d"
+  "bench_baseline_can"
+  "bench_baseline_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

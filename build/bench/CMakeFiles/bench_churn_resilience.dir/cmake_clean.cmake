@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_churn_resilience.dir/churn_resilience.cc.o"
+  "CMakeFiles/bench_churn_resilience.dir/churn_resilience.cc.o.d"
+  "bench_churn_resilience"
+  "bench_churn_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_churn_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

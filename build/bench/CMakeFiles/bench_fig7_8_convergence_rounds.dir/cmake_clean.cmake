@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_convergence_rounds.dir/fig7_8_convergence_rounds.cc.o"
+  "CMakeFiles/bench_fig7_8_convergence_rounds.dir/fig7_8_convergence_rounds.cc.o.d"
+  "bench_fig7_8_convergence_rounds"
+  "bench_fig7_8_convergence_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_convergence_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

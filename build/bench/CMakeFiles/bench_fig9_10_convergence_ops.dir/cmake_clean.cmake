@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_10_convergence_ops.dir/fig9_10_convergence_ops.cc.o"
+  "CMakeFiles/bench_fig9_10_convergence_ops.dir/fig9_10_convergence_ops.cc.o.d"
+  "bench_fig9_10_convergence_ops"
+  "bench_fig9_10_convergence_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_10_convergence_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

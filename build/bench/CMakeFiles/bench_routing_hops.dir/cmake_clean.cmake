@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_hops.dir/routing_hops.cc.o"
+  "CMakeFiles/bench_routing_hops.dir/routing_hops.cc.o.d"
+  "bench_routing_hops"
+  "bench_routing_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

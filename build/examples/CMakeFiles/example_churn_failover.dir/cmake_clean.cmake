@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_churn_failover.dir/churn_failover.cpp.o"
+  "CMakeFiles/example_churn_failover.dir/churn_failover.cpp.o.d"
+  "example_churn_failover"
+  "example_churn_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_churn_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_event_parking.dir/event_parking.cpp.o"
+  "CMakeFiles/example_event_parking.dir/event_parking.cpp.o.d"
+  "example_event_parking"
+  "example_event_parking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_event_parking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_info.dir/traffic_info.cpp.o"
+  "CMakeFiles/example_traffic_info.dir/traffic_info.cpp.o.d"
+  "example_traffic_info"
+  "example_traffic_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_common.dir/ascii_render.cc.o"
+  "CMakeFiles/geogrid_common.dir/ascii_render.cc.o.d"
+  "CMakeFiles/geogrid_common.dir/csv.cc.o"
+  "CMakeFiles/geogrid_common.dir/csv.cc.o.d"
+  "CMakeFiles/geogrid_common.dir/geometry.cc.o"
+  "CMakeFiles/geogrid_common.dir/geometry.cc.o.d"
+  "CMakeFiles/geogrid_common.dir/histogram.cc.o"
+  "CMakeFiles/geogrid_common.dir/histogram.cc.o.d"
+  "CMakeFiles/geogrid_common.dir/logging.cc.o"
+  "CMakeFiles/geogrid_common.dir/logging.cc.o.d"
+  "CMakeFiles/geogrid_common.dir/rng.cc.o"
+  "CMakeFiles/geogrid_common.dir/rng.cc.o.d"
+  "CMakeFiles/geogrid_common.dir/stats.cc.o"
+  "CMakeFiles/geogrid_common.dir/stats.cc.o.d"
+  "libgeogrid_common.a"
+  "libgeogrid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

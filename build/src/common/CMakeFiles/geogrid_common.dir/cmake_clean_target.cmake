@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeogrid_common.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_core.dir/cluster.cc.o"
+  "CMakeFiles/geogrid_core.dir/cluster.cc.o.d"
+  "CMakeFiles/geogrid_core.dir/engine.cc.o"
+  "CMakeFiles/geogrid_core.dir/engine.cc.o.d"
+  "CMakeFiles/geogrid_core.dir/node.cc.o"
+  "CMakeFiles/geogrid_core.dir/node.cc.o.d"
+  "CMakeFiles/geogrid_core.dir/node_maintenance.cc.o"
+  "CMakeFiles/geogrid_core.dir/node_maintenance.cc.o.d"
+  "libgeogrid_core.a"
+  "libgeogrid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

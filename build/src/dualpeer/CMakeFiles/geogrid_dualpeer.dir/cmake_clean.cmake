@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_dualpeer.dir/dual_ops.cc.o"
+  "CMakeFiles/geogrid_dualpeer.dir/dual_ops.cc.o.d"
+  "CMakeFiles/geogrid_dualpeer.dir/join_policy.cc.o"
+  "CMakeFiles/geogrid_dualpeer.dir/join_policy.cc.o.d"
+  "libgeogrid_dualpeer.a"
+  "libgeogrid_dualpeer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_dualpeer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for geogrid_dualpeer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadbalance/driver.cc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/driver.cc.o" "gcc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/driver.cc.o.d"
+  "/root/repo/src/loadbalance/mechanism.cc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/mechanism.cc.o" "gcc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/mechanism.cc.o.d"
+  "/root/repo/src/loadbalance/planner.cc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/planner.cc.o" "gcc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/planner.cc.o.d"
+  "/root/repo/src/loadbalance/snapshot_planner.cc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/snapshot_planner.cc.o" "gcc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/snapshot_planner.cc.o.d"
+  "/root/repo/src/loadbalance/ttl_search.cc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/ttl_search.cc.o" "gcc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/ttl_search.cc.o.d"
+  "/root/repo/src/loadbalance/workload_index.cc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/workload_index.cc.o" "gcc" "src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/workload_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/geogrid_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geogrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geogrid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_loadbalance.dir/driver.cc.o"
+  "CMakeFiles/geogrid_loadbalance.dir/driver.cc.o.d"
+  "CMakeFiles/geogrid_loadbalance.dir/mechanism.cc.o"
+  "CMakeFiles/geogrid_loadbalance.dir/mechanism.cc.o.d"
+  "CMakeFiles/geogrid_loadbalance.dir/planner.cc.o"
+  "CMakeFiles/geogrid_loadbalance.dir/planner.cc.o.d"
+  "CMakeFiles/geogrid_loadbalance.dir/snapshot_planner.cc.o"
+  "CMakeFiles/geogrid_loadbalance.dir/snapshot_planner.cc.o.d"
+  "CMakeFiles/geogrid_loadbalance.dir/ttl_search.cc.o"
+  "CMakeFiles/geogrid_loadbalance.dir/ttl_search.cc.o.d"
+  "CMakeFiles/geogrid_loadbalance.dir/workload_index.cc.o"
+  "CMakeFiles/geogrid_loadbalance.dir/workload_index.cc.o.d"
+  "libgeogrid_loadbalance.a"
+  "libgeogrid_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_metrics.dir/collector.cc.o"
+  "CMakeFiles/geogrid_metrics.dir/collector.cc.o.d"
+  "libgeogrid_metrics.a"
+  "libgeogrid_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_net.dir/codec.cc.o"
+  "CMakeFiles/geogrid_net.dir/codec.cc.o.d"
+  "CMakeFiles/geogrid_net.dir/messages.cc.o"
+  "CMakeFiles/geogrid_net.dir/messages.cc.o.d"
+  "libgeogrid_net.a"
+  "libgeogrid_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

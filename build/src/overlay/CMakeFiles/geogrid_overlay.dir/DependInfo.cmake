@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/basic_ops.cc" "src/overlay/CMakeFiles/geogrid_overlay.dir/basic_ops.cc.o" "gcc" "src/overlay/CMakeFiles/geogrid_overlay.dir/basic_ops.cc.o.d"
+  "/root/repo/src/overlay/partition.cc" "src/overlay/CMakeFiles/geogrid_overlay.dir/partition.cc.o" "gcc" "src/overlay/CMakeFiles/geogrid_overlay.dir/partition.cc.o.d"
+  "/root/repo/src/overlay/router.cc" "src/overlay/CMakeFiles/geogrid_overlay.dir/router.cc.o" "gcc" "src/overlay/CMakeFiles/geogrid_overlay.dir/router.cc.o.d"
+  "/root/repo/src/overlay/snapshot.cc" "src/overlay/CMakeFiles/geogrid_overlay.dir/snapshot.cc.o" "gcc" "src/overlay/CMakeFiles/geogrid_overlay.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/geogrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geogrid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_overlay.dir/basic_ops.cc.o"
+  "CMakeFiles/geogrid_overlay.dir/basic_ops.cc.o.d"
+  "CMakeFiles/geogrid_overlay.dir/partition.cc.o"
+  "CMakeFiles/geogrid_overlay.dir/partition.cc.o.d"
+  "CMakeFiles/geogrid_overlay.dir/router.cc.o"
+  "CMakeFiles/geogrid_overlay.dir/router.cc.o.d"
+  "CMakeFiles/geogrid_overlay.dir/snapshot.cc.o"
+  "CMakeFiles/geogrid_overlay.dir/snapshot.cc.o.d"
+  "libgeogrid_overlay.a"
+  "libgeogrid_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/bootstrap.cc" "src/services/CMakeFiles/geogrid_services.dir/bootstrap.cc.o" "gcc" "src/services/CMakeFiles/geogrid_services.dir/bootstrap.cc.o.d"
+  "/root/repo/src/services/geolocator.cc" "src/services/CMakeFiles/geogrid_services.dir/geolocator.cc.o" "gcc" "src/services/CMakeFiles/geogrid_services.dir/geolocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/geogrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geogrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geogrid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

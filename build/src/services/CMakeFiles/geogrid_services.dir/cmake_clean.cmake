@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_services.dir/bootstrap.cc.o"
+  "CMakeFiles/geogrid_services.dir/bootstrap.cc.o.d"
+  "CMakeFiles/geogrid_services.dir/geolocator.cc.o"
+  "CMakeFiles/geogrid_services.dir/geolocator.cc.o.d"
+  "libgeogrid_services.a"
+  "libgeogrid_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

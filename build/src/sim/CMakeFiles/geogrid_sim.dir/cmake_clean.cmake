@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_sim.dir/event_loop.cc.o"
+  "CMakeFiles/geogrid_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/geogrid_sim.dir/network.cc.o"
+  "CMakeFiles/geogrid_sim.dir/network.cc.o.d"
+  "libgeogrid_sim.a"
+  "libgeogrid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

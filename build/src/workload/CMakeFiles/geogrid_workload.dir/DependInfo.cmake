@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/capacity.cc" "src/workload/CMakeFiles/geogrid_workload.dir/capacity.cc.o" "gcc" "src/workload/CMakeFiles/geogrid_workload.dir/capacity.cc.o.d"
+  "/root/repo/src/workload/hotspot.cc" "src/workload/CMakeFiles/geogrid_workload.dir/hotspot.cc.o" "gcc" "src/workload/CMakeFiles/geogrid_workload.dir/hotspot.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/workload/CMakeFiles/geogrid_workload.dir/query_gen.cc.o" "gcc" "src/workload/CMakeFiles/geogrid_workload.dir/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/geogrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geogrid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

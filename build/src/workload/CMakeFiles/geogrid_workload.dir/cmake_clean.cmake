@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geogrid_workload.dir/capacity.cc.o"
+  "CMakeFiles/geogrid_workload.dir/capacity.cc.o.d"
+  "CMakeFiles/geogrid_workload.dir/hotspot.cc.o"
+  "CMakeFiles/geogrid_workload.dir/hotspot.cc.o.d"
+  "CMakeFiles/geogrid_workload.dir/query_gen.cc.o"
+  "CMakeFiles/geogrid_workload.dir/query_gen.cc.o.d"
+  "libgeogrid_workload.a"
+  "libgeogrid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geogrid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

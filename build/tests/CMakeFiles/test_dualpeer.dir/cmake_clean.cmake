@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dualpeer.dir/dual_ops_test.cc.o"
+  "CMakeFiles/test_dualpeer.dir/dual_ops_test.cc.o.d"
+  "CMakeFiles/test_dualpeer.dir/join_policy_test.cc.o"
+  "CMakeFiles/test_dualpeer.dir/join_policy_test.cc.o.d"
+  "test_dualpeer"
+  "test_dualpeer.pdb"
+  "test_dualpeer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dualpeer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/driver_test.cc" "tests/CMakeFiles/test_loadbalance.dir/driver_test.cc.o" "gcc" "tests/CMakeFiles/test_loadbalance.dir/driver_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/test_loadbalance.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/test_loadbalance.dir/planner_test.cc.o.d"
+  "/root/repo/tests/ttl_search_test.cc" "tests/CMakeFiles/test_loadbalance.dir/ttl_search_test.cc.o" "gcc" "tests/CMakeFiles/test_loadbalance.dir/ttl_search_test.cc.o.d"
+  "/root/repo/tests/workload_index_test.cc" "tests/CMakeFiles/test_loadbalance.dir/workload_index_test.cc.o" "gcc" "tests/CMakeFiles/test_loadbalance.dir/workload_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geogrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/geogrid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadbalance/CMakeFiles/geogrid_loadbalance.dir/DependInfo.cmake"
+  "/root/repo/build/src/dualpeer/CMakeFiles/geogrid_dualpeer.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/geogrid_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/geogrid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/geogrid_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/geogrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/geogrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/geogrid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

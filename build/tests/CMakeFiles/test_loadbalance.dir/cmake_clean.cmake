@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loadbalance.dir/driver_test.cc.o"
+  "CMakeFiles/test_loadbalance.dir/driver_test.cc.o.d"
+  "CMakeFiles/test_loadbalance.dir/planner_test.cc.o"
+  "CMakeFiles/test_loadbalance.dir/planner_test.cc.o.d"
+  "CMakeFiles/test_loadbalance.dir/ttl_search_test.cc.o"
+  "CMakeFiles/test_loadbalance.dir/ttl_search_test.cc.o.d"
+  "CMakeFiles/test_loadbalance.dir/workload_index_test.cc.o"
+  "CMakeFiles/test_loadbalance.dir/workload_index_test.cc.o.d"
+  "test_loadbalance"
+  "test_loadbalance.pdb"
+  "test_loadbalance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/protocol_adaptation_test.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol_adaptation_test.cc.o.d"
+  "CMakeFiles/test_protocol.dir/protocol_churn_test.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol_churn_test.cc.o.d"
+  "CMakeFiles/test_protocol.dir/protocol_failure_test.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol_failure_test.cc.o.d"
+  "CMakeFiles/test_protocol.dir/protocol_join_test.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol_join_test.cc.o.d"
+  "CMakeFiles/test_protocol.dir/protocol_query_test.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol_query_test.cc.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+  "test_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
