@@ -1,0 +1,178 @@
+// Mobile-user ingestion throughput: sustained location updates/sec and
+// locate cost versus user population, over the engine-mode fast path
+// (mobility::LocationDirectory on an authoritative Partition).
+//
+// Each population runs the full motion loop for 60 virtual seconds: every
+// virtual second the seeded random-waypoint/hot-spot walk advances and every
+// user reports its position, so the numbers include region lookup, handoff
+// eviction and spatial-index maintenance — not just hash-map inserts.
+// Locate cost is measured two ways: wall-clock latency of point lookups,
+// and the greedy-routing hop count a LocateRequest would pay on the wire
+// (metrics::target_hop_summary against sampled user positions).
+//
+// Populations sweep 10k-100k by default; set GEOGRID_BENCH_LARGE=1 to add
+// the 1M-user point.  Set GEOGRID_JSON_OUT=<path> to write the machine-
+// readable baseline (BENCH_location_updates.json).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/engine.h"
+#include "metrics/collector.h"
+#include "mobility/directory.h"
+#include "mobility/motion.h"
+
+using namespace geogrid;
+
+namespace {
+
+constexpr double kVirtualSeconds = 60.0;
+constexpr std::size_t kNodes = 1000;
+constexpr std::size_t kLocateSamples = 100'000;
+constexpr std::size_t kHopTargets = 2'000;
+
+struct RunResult {
+  std::size_t users = 0;
+  double updates_per_sec = 0.0;    ///< sustained ingest throughput
+  double locate_ns = 0.0;          ///< mean wall-clock point-lookup latency
+  double locate_hops_mean = 0.0;   ///< greedy-routing hops to the owner
+  double locate_hops_max = 0.0;
+  std::uint64_t handoffs = 0;      ///< region-boundary crossings
+  std::uint64_t updates = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+RunResult measure(std::size_t user_count, std::uint64_t seed) {
+  core::SimulationOptions opt;
+  opt.mode = core::GridMode::kDualPeer;
+  opt.node_count = kNodes;
+  opt.seed = seed;
+  core::GridSimulation sim(opt);
+
+  mobility::UserPopulation::Options mopt;
+  mopt.model = mobility::MotionModel::kHotspotAttracted;
+  mobility::UserPopulation pop(user_count, mopt, &sim.field(),
+                               Rng(seed * 31 + 7));
+  mobility::LocationDirectory dir(sim.partition());
+
+  RunResult r;
+  r.users = user_count;
+  const auto ingest_start = std::chrono::steady_clock::now();
+  double now = 0.0;
+  for (int tick = 0; tick < static_cast<int>(kVirtualSeconds); ++tick) {
+    now += 1.0;
+    pop.step(1.0, now);
+    for (auto& u : pop.users()) {
+      dir.apply_update({u.id, u.position, u.next_seq++, now});
+    }
+  }
+  const double ingest_secs = seconds_since(ingest_start);
+  r.updates = dir.counters().updates_applied + dir.counters().updates_stale;
+  r.updates_per_sec = static_cast<double>(r.updates) / ingest_secs;
+  r.handoffs = dir.counters().handoffs;
+
+  // Point-lookup latency over a deterministic sample of the population.
+  Rng sample_rng(seed + 1);
+  std::vector<UserId> probes(kLocateSamples);
+  for (auto& p : probes) {
+    p = pop.users()[sample_rng.uniform_index(pop.users().size())].id;
+  }
+  const auto locate_start = std::chrono::steady_clock::now();
+  std::size_t found = 0;
+  for (const UserId u : probes) {
+    if (dir.locate(u) != nullptr) ++found;
+  }
+  const double locate_secs = seconds_since(locate_start);
+  r.locate_ns = locate_secs * 1e9 / static_cast<double>(probes.size());
+  if (found != probes.size()) {
+    std::fprintf(stderr, "locate lost users: %zu/%zu\n", found,
+                 probes.size());
+    std::exit(1);
+  }
+
+  // Routing cost a LocateRequest pays to reach the owning region.
+  std::vector<Point> targets;
+  targets.reserve(kHopTargets);
+  for (std::size_t i = 0; i < kHopTargets; ++i) {
+    targets.push_back(
+        pop.users()[sample_rng.uniform_index(pop.users().size())].position);
+  }
+  Rng hop_rng(seed + 2);
+  const Summary hops =
+      metrics::target_hop_summary(sim.partition(), hop_rng, targets);
+  r.locate_hops_mean = hops.mean;
+  r.locate_hops_max = hops.max;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::size_t> populations = {10'000, 30'000, 100'000};
+  if (const char* env = std::getenv("GEOGRID_BENCH_LARGE");
+      env != nullptr && env[0] != '0') {
+    populations.push_back(1'000'000);
+  }
+
+  std::printf("Location updates: %zu-node engine grid, %.0f virtual seconds "
+              "of motion per point\n",
+              kNodes, kVirtualSeconds);
+  auto csv = bench::csv_for("location_updates");
+  if (csv) {
+    csv->header({"users", "updates", "updates_per_sec", "locate_ns",
+                 "locate_hops_mean", "locate_hops_max", "handoffs"});
+  }
+
+  std::vector<RunResult> results;
+  std::printf("%9s %12s %14s %12s %12s %10s\n", "users", "updates",
+              "updates/sec", "locate ns", "locate hops", "handoffs");
+  for (const std::size_t users : populations) {
+    const RunResult r = measure(users, 4242);
+    results.push_back(r);
+    std::printf("%9zu %12llu %14.0f %12.1f %12.2f %10llu\n", r.users,
+                static_cast<unsigned long long>(r.updates), r.updates_per_sec,
+                r.locate_ns, r.locate_hops_mean,
+                static_cast<unsigned long long>(r.handoffs));
+    if (csv) {
+      csv->row(r.users, r.updates, r.updates_per_sec, r.locate_ns,
+               r.locate_hops_mean, r.locate_hops_max, r.handoffs);
+    }
+  }
+
+  if (const char* path = std::getenv("GEOGRID_JSON_OUT")) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"location_updates\",\n"
+                    "  \"nodes\": %zu,\n  \"virtual_seconds\": %.0f,\n"
+                    "  \"points\": [\n",
+                 kNodes, kVirtualSeconds);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"users\": %zu, \"updates\": %llu, "
+          "\"updates_per_sec\": %.0f, \"locate_ns\": %.1f, "
+          "\"locate_hops_mean\": %.3f, \"locate_hops_max\": %.0f, "
+          "\"handoffs\": %llu}%s\n",
+          r.users, static_cast<unsigned long long>(r.updates),
+          r.updates_per_sec, r.locate_ns, r.locate_hops_mean,
+          r.locate_hops_max, static_cast<unsigned long long>(r.handoffs),
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("baseline written to %s\n", path);
+  }
+  return 0;
+}

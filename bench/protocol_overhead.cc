@@ -66,6 +66,12 @@ const char* family_of(net::MsgType type) {
     case T::kPublish:
     case T::kNotify:
       return "application";
+    case T::kLocationUpdate:
+    case T::kLocationUpdateAck:
+    case T::kUserHandoff:
+    case T::kLocateRequest:
+    case T::kLocateReply:
+      return "mobile-user";
   }
   return "other";
 }

@@ -4,7 +4,9 @@
 // it doubles as the simulated network address (the paper's <IP, port> pair).
 // RegionId identifies a region of the space partition; regions survive
 // ownership changes, so the id is stable across the load-balance adaptations
-// that re-assign owners.
+// that re-assign owners.  UserId identifies a mobile end user of the
+// location service; users are not overlay members — their location records
+// live in the region that covers their current position.
 #pragma once
 
 #include <cstdint>
@@ -41,12 +43,17 @@ struct NodeTag {
 struct RegionTag {
   static constexpr const char* prefix() { return "r"; }
 };
+struct UserTag {
+  static constexpr const char* prefix() { return "u"; }
+};
 
 using NodeId = detail::TaggedId<NodeTag>;
 using RegionId = detail::TaggedId<RegionTag>;
+using UserId = detail::TaggedId<UserTag>;
 
 inline constexpr NodeId kInvalidNode{};
 inline constexpr RegionId kInvalidRegion{};
+inline constexpr UserId kInvalidUser{};
 
 }  // namespace geogrid
 

@@ -18,19 +18,20 @@ using net::RegionSnapshot;
 
 namespace detail {
 
-std::string encode_subscriptions(const std::vector<StoredSubscription>& subs) {
+std::string encode_app_state(const OwnedRegion& region) {
   net::Writer w;
-  w.varint(subs.size());
-  for (const auto& s : subs) {
+  w.varint(region.subscriptions.size());
+  for (const auto& s : region.subscriptions) {
     s.sub.encode(w);
     w.f64(s.expires);
   }
+  region.users.encode(w);
   const auto bytes = std::move(w).take();
   return std::string(reinterpret_cast<const char*>(bytes.data()),
                      bytes.size());
 }
 
-std::vector<StoredSubscription> decode_subscriptions(const std::string& blob) {
+void decode_app_state(const std::string& blob, OwnedRegion& region) {
   net::Reader r(reinterpret_cast<const std::byte*>(blob.data()), blob.size());
   const auto n = r.varint();
   std::vector<StoredSubscription> subs;
@@ -41,7 +42,8 @@ std::vector<StoredSubscription> decode_subscriptions(const std::string& blob) {
     s.expires = r.f64();
     subs.push_back(std::move(s));
   }
-  return subs;
+  region.subscriptions = std::move(subs);
+  region.users = mobility::LocationStore::decode(r);
 }
 
 }  // namespace detail
@@ -485,6 +487,12 @@ void GeoGridNode::handle_routed_payload(NodeId from, const net::Routed& env) {
     handle_publish(*pub);
   } else if (const auto* probe = std::get_if<net::OwnerProbe>(&inner)) {
     handle_owner_probe(*probe);
+  } else if (const auto* update = std::get_if<net::LocationUpdate>(&inner)) {
+    handle_location_update(*update);
+  } else if (const auto* evict = std::get_if<net::UserHandoff>(&inner)) {
+    handle_user_handoff(*evict);
+  } else if (const auto* loc = std::get_if<net::LocateRequest>(&inner)) {
+    handle_locate_request(*loc, env.hops);
   } else {
     GEOGRID_WARN("unexpected routed payload "
                  << net::message_name(net::message_type(inner)));
@@ -600,15 +608,19 @@ void GeoGridNode::handle_subscribe(const net::Subscribe& s) {
   }
 }
 
+void GeoGridNode::prune_expired_subscriptions(OwnedRegion& region) {
+  const sim::Time now = loop_.now();
+  std::erase_if(region.subscriptions, [now](const StoredSubscription& s) {
+    return s.expires <= now;
+  });
+}
+
 void GeoGridNode::handle_publish(const net::Publish& p) {
   OwnedRegion* covering = covering_region(p.location);
   if (covering == nullptr) return;
   ++counters_.publishes_handled;
-  const sim::Time now = loop_.now();
   // Lazily drop expired subscriptions, then match the rest.
-  std::erase_if(covering->subscriptions, [now](const StoredSubscription& s) {
-    return s.expires <= now;
-  });
+  prune_expired_subscriptions(*covering);
   for (const auto& stored : covering->subscriptions) {
     const net::Subscribe& sub = stored.sub;
     const bool in_area = sub.area.covers(p.location) ||
@@ -619,6 +631,126 @@ void GeoGridNode::handle_publish(const net::Publish& p) {
                     net::Notify{sub.sub_id, p.topic, p.payload});
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Mobile-user layer.
+// ---------------------------------------------------------------------------
+
+void GeoGridNode::submit_location_update(UserId user, const Point& location,
+                                         std::uint64_t seq,
+                                         std::optional<Point> prev) {
+  net::LocationUpdate m;
+  m.user = user;
+  m.location = location;
+  m.seq = seq;
+  if (prev) {
+    m.has_prev = true;
+    m.prev_location = *prev;
+  }
+  m.reporter = self_;
+  ++counters_.location_updates_submitted;
+  route_or_handle(net::make_routed(location, m));
+}
+
+std::uint64_t GeoGridNode::locate_user(UserId user, const Point& hint) {
+  net::LocateRequest req;
+  req.request_id = (static_cast<std::uint64_t>(self_.id.value) << 32) |
+                   ++next_request_id_;
+  req.requester = self_;
+  req.user = user;
+  req.hint = hint;
+  route_or_handle(net::make_routed(hint, req));
+  return req.request_id;
+}
+
+void GeoGridNode::handle_location_update(const net::LocationUpdate& m) {
+  OwnedRegion* covering = covering_region(m.location);
+  if (covering == nullptr) return;
+  OwnedRegion& region = *covering;
+  if (!region.is_primary() && region.peer) {
+    // Routed envelopes hop between primaries, but a node can also hold a
+    // secondary seat covering the target; the primary stays authoritative.
+    network_.send(self_.id, region.peer->id, m);
+    return;
+  }
+  mobility::LocationRecord rec;
+  rec.user = m.user;
+  rec.position = m.location;
+  rec.seq = m.seq;
+  rec.timestamp = loop_.now();
+  if (!region.users.ingest(rec)) return;  // stale or replayed report
+  ++counters_.location_updates_ingested;
+  region.app_version += 1;
+  network_.send(self_.id, m.reporter.id,
+                net::LocationUpdateAck{m.user, m.seq, region.id});
+  // Boundary crossing: the record moved here with the update; evict the
+  // stale copy from the old owning region (routed toward the previous
+  // position, so splits/merges/fail-overs en route cannot strand it).
+  if (m.has_prev && !(region.rect.covers(m.prev_location) ||
+                      region.rect.covers_inclusive(m.prev_location))) {
+    ++counters_.user_handoffs;
+    route_or_handle(net::make_routed(m.prev_location,
+                                     net::UserHandoff{m.user, m.seq,
+                                                      region.id}));
+  }
+  notify_presence(region, m);
+  sync_peer(region);
+}
+
+void GeoGridNode::notify_presence(OwnedRegion& region,
+                                  const net::LocationUpdate& m) {
+  prune_expired_subscriptions(region);
+  for (const auto& stored : region.subscriptions) {
+    const net::Subscribe& sub = stored.sub;
+    if (!sub.filter.empty() && sub.filter != kPresenceTopic) continue;
+    const bool now_inside = sub.area.covers(m.location) ||
+                            sub.area.covers_inclusive(m.location);
+    if (!now_inside) continue;
+    // Duplicate suppression: a user wandering *inside* the subscribed area
+    // already fired when it entered; only the crossing notifies.
+    if (m.has_prev && (sub.area.covers(m.prev_location) ||
+                       sub.area.covers_inclusive(m.prev_location))) {
+      continue;
+    }
+    net::Notify n;
+    n.sub_id = sub.sub_id;
+    n.topic = std::string(kPresenceTopic);
+    n.payload = "user " + std::to_string(m.user.value);
+    network_.send(self_.id, sub.subscriber.id, n);
+    ++counters_.presence_notifies_sent;
+  }
+}
+
+void GeoGridNode::handle_user_handoff(const net::UserHandoff& m) {
+  for (auto& [rid, region] : owned_) {
+    if (rid == m.new_region) continue;  // never evict from the new home
+    if (region.users.erase_if_stale(m.user, m.seq)) {
+      region.app_version += 1;
+      if (region.is_primary()) sync_peer(region);
+    }
+  }
+}
+
+void GeoGridNode::handle_locate_request(const net::LocateRequest& m,
+                                        std::uint16_t hops) {
+  net::LocateReply reply;
+  reply.request_id = m.request_id;
+  reply.user = m.user;
+  reply.hops = hops;
+  // The hint may be slightly stale; any seat we hold can answer (the
+  // secondary's replica serves reads after a fail-over too).
+  for (auto& [rid, region] : owned_) {
+    if (const mobility::LocationRecord* rec = region.users.locate(m.user)) {
+      reply.found = true;
+      reply.location = rec->position;
+      reply.seq = rec->seq;
+      reply.region = rid;
+      break;
+    }
+  }
+  ++counters_.locates_served;
+  network_.send(self_.id, m.requester.id, reply);
 }
 
 void GeoGridNode::set_region_load(RegionId region, double load) {

@@ -29,12 +29,18 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "core/options.h"
+#include "mobility/location_store.h"
 #include "net/messages.h"
 #include "overlay/region.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 
 namespace geogrid::core {
+
+/// Topic under which mobile-user movement fires subscription notifications:
+/// a subscription whose filter is empty or equals this topic is matched when
+/// a user's reported position enters its area.
+inline constexpr std::string_view kPresenceTopic = "presence";
 
 /// A stored subscription with its absolute expiry time.
 struct StoredSubscription {
@@ -56,6 +62,7 @@ struct OwnedRegion {
 
   // Replicated application state (synced primary -> secondary).
   std::vector<StoredSubscription> subscriptions;
+  mobility::LocationStore users;  ///< mobile users inside this region
   std::uint64_t app_version = 0;
 
   bool is_primary() const noexcept {
@@ -76,6 +83,14 @@ struct NodeCounters {
   std::uint64_t takeovers = 0;          ///< fail-overs this node performed
   std::uint64_t adaptations_started = 0;
   std::uint64_t adaptations_completed = 0;
+  // Mobile-user layer.
+  std::uint64_t location_updates_submitted = 0;  ///< proxy role
+  std::uint64_t location_updates_ingested = 0;   ///< owner role
+  std::uint64_t location_acks_received = 0;
+  std::uint64_t user_handoffs = 0;      ///< boundary crossings this owner saw
+  std::uint64_t locates_served = 0;
+  std::uint64_t locate_replies_received = 0;
+  std::uint64_t presence_notifies_sent = 0;
 };
 
 class GeoGridNode : public sim::Process {
@@ -123,9 +138,24 @@ class GeoGridNode : public sim::Process {
   void publish(const Point& location, const std::string& topic,
                const std::string& payload);
 
+  /// Access-proxy role: forwards a mobile user's location report into the
+  /// grid (routed to the region covering the new position).  `prev` is the
+  /// user's previously reported position, when known — it drives handoff
+  /// eviction and duplicate-notification suppression at the owner.
+  void submit_location_update(UserId user, const Point& location,
+                              std::uint64_t seq,
+                              std::optional<Point> prev = std::nullopt);
+
+  /// Point lookup for a user: routes a LocateRequest toward `hint` (the
+  /// requester's last known position for the user); the covering owner
+  /// answers from its location store via `on_locate`.
+  std::uint64_t locate_user(UserId user, const Point& hint);
+
   /// Callback hooks (tests and examples).
   std::function<void(const net::QueryResult&)> on_result;
   std::function<void(const net::Notify&)> on_notify;
+  std::function<void(const net::LocateReply&)> on_locate;
+  std::function<void(const net::LocationUpdateAck&)> on_location_ack;
 
   // --- Introspection ---------------------------------------------------------
 
@@ -170,6 +200,15 @@ class GeoGridNode : public sim::Process {
   void handle_subscribe(const net::Subscribe& s);
   void store_subscription(const net::Subscribe& s, OwnedRegion& region);
   void handle_publish(const net::Publish& p);
+
+  // Mobile-user handlers.
+  void handle_location_update(const net::LocationUpdate& m);
+  void handle_user_handoff(const net::UserHandoff& m);
+  void handle_locate_request(const net::LocateRequest& m, std::uint16_t hops);
+  void notify_presence(OwnedRegion& region, const net::LocationUpdate& m);
+  /// Drops lapsed subscriptions; runs on every seat (secondaries included)
+  /// so a failed-over replica never fires from an expired subscription.
+  void prune_expired_subscriptions(OwnedRegion& region);
 
   // Maintenance.
   void schedule_timers();

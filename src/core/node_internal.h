@@ -8,10 +8,11 @@
 
 namespace geogrid::core::detail {
 
-/// Serializes a subscription list for primary -> secondary replication.
-std::string encode_subscriptions(const std::vector<StoredSubscription>& subs);
+/// Serializes a region's replicated application state (subscriptions and
+/// the mobile-user location store) for primary -> secondary replication.
+std::string encode_app_state(const OwnedRegion& region);
 
-/// Inverse of encode_subscriptions.
-std::vector<StoredSubscription> decode_subscriptions(const std::string& blob);
+/// Inverse of encode_app_state: installs the blob into `region`.
+void decode_app_state(const std::string& blob, OwnedRegion& region);
 
 }  // namespace geogrid::core::detail

@@ -54,12 +54,15 @@ void GeoGridNode::sync_peer(OwnedRegion& region) {
   net::SyncState sync;
   sync.region = region.id;
   sync.version = region.app_version;
-  sync.payload = detail::encode_subscriptions(region.subscriptions);
+  sync.payload = detail::encode_app_state(region);
   network_.send(self_.id, region.peer->id, sync);
 }
 
 void GeoGridNode::tick_peer_sync() {
   for (auto& [rid, region] : owned_) {
+    // Expiry cleanup runs on every seat — secondaries included — so a
+    // replica that fails over holds no lapsed subscriptions to fire from.
+    prune_expired_subscriptions(region);
     if (!region.peer) continue;
     net::Heartbeat hb;
     hb.region = rid;
@@ -1105,7 +1108,7 @@ void GeoGridNode::on_message(NodeId from, const Message& msg) {
           if (auto it = owned_.find(m.region);
               it != owned_.end() && !it->second.is_primary()) {
             it->second.app_version = m.version;
-            it->second.subscriptions = detail::decode_subscriptions(m.payload);
+            detail::decode_app_state(m.payload, it->second);
             peer_last_heard_[m.region] = loop_.now();
           }
         } else if constexpr (std::is_same_v<T, net::LoadStatsExchange>) {
@@ -1150,6 +1153,19 @@ void GeoGridNode::on_message(NodeId from, const Message& msg) {
         } else if constexpr (std::is_same_v<T, net::Notify>) {
           ++counters_.notifies_received;
           if (on_notify) on_notify(m);
+        } else if constexpr (std::is_same_v<T, net::LocationUpdate>) {
+          // Direct delivery: secondary-seat coverer forwarding to us.
+          handle_location_update(m);
+        } else if constexpr (std::is_same_v<T, net::LocationUpdateAck>) {
+          ++counters_.location_acks_received;
+          if (on_location_ack) on_location_ack(m);
+        } else if constexpr (std::is_same_v<T, net::UserHandoff>) {
+          handle_user_handoff(m);
+        } else if constexpr (std::is_same_v<T, net::LocateRequest>) {
+          handle_locate_request(m, 0);
+        } else if constexpr (std::is_same_v<T, net::LocateReply>) {
+          ++counters_.locate_replies_received;
+          if (on_locate) on_locate(m);
         } else {
           GEOGRID_WARN("node " << self_.id << " ignoring "
                                << net::message_name(net::message_type(msg)));

@@ -1,0 +1,34 @@
+#include "core/user_fleet.h"
+
+#include <cassert>
+
+namespace geogrid::core {
+
+UserFleet::UserFleet(Cluster& cluster, mobility::UserPopulation population)
+    : cluster_(cluster), population_(std::move(population)),
+      last_reported_(population_.users().size()) {}
+
+GeoGridNode& UserFleet::proxy_of(std::size_t index) {
+  auto& nodes = cluster_.nodes();
+  assert(!nodes.empty());
+  for (std::size_t probe = 0; probe < nodes.size(); ++probe) {
+    GeoGridNode& node = *nodes[(index + probe) % nodes.size()];
+    if (!node.departed() && node.joined()) return node;
+  }
+  return *nodes[index % nodes.size()];  // nobody alive: caller's problem
+}
+
+void UserFleet::tick(double dt) {
+  const double now = cluster_.loop().now();
+  population_.step(dt, now);
+  auto& users = population_.users();
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    mobility::MobileUser& user = users[i];
+    proxy_of(i).submit_location_update(user.id, user.position,
+                                       user.next_seq, last_reported_[i]);
+    last_reported_[i] = user.position;
+    user.next_seq += 1;
+  }
+}
+
+}  // namespace geogrid::core

@@ -1,0 +1,52 @@
+// Protocol-mode mobile-user fleet.
+//
+// Binds a mobility::UserPopulation to a Cluster: each mobile user is pinned
+// to an access proxy (a grid node, round-robin over the fleet), and every
+// tick steps the motion model and forwards one LocationUpdate per user
+// through its proxy.  The fleet tracks each user's previously *reported*
+// position so updates carry the prev-location that drives handoff eviction
+// and duplicate-notification suppression at the owners.
+//
+// This is the harness role the paper calls the "access proxy": mobile users
+// are not overlay members, they reach GeoGrid through fixed nodes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/cluster.h"
+#include "mobility/motion.h"
+
+namespace geogrid::core {
+
+class UserFleet {
+ public:
+  UserFleet(Cluster& cluster, mobility::UserPopulation population);
+
+  /// Steps every user's motion by `dt` virtual seconds and reports each
+  /// new position through the user's access proxy.  Call between
+  /// Cluster::run_for slices so the updates drain through the network.
+  void tick(double dt);
+
+  /// The access proxy serving user `index`.  Skips departed nodes, so a
+  /// crashed proxy's users re-home to the next live node.
+  GeoGridNode& proxy_of(std::size_t index);
+
+  mobility::UserPopulation& population() noexcept { return population_; }
+  const mobility::UserPopulation& population() const noexcept {
+    return population_;
+  }
+
+  /// The last position user `index` reported, if it reported at all.
+  std::optional<Point> last_reported(std::size_t index) const {
+    return last_reported_[index];
+  }
+
+ private:
+  Cluster& cluster_;
+  mobility::UserPopulation population_;
+  std::vector<std::optional<Point>> last_reported_;
+};
+
+}  // namespace geogrid::core

@@ -71,6 +71,24 @@ Summary routing_hop_summary(const overlay::Partition& partition, Rng& rng,
   return hops.summary();
 }
 
+Summary target_hop_summary(const overlay::Partition& partition, Rng& rng,
+                           std::span<const Point> targets) {
+  RunningStats hops;
+  if (partition.region_count() == 0) return hops.summary();
+
+  std::vector<RegionId> ids;
+  ids.reserve(partition.region_count());
+  for (const auto& [id, r] : partition.regions()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  for (const Point& target : targets) {
+    const RegionId from = ids[rng.uniform_index(ids.size())];
+    const auto route = overlay::route_greedy(partition, from, target);
+    if (route.reached) hops.add(static_cast<double>(route.hops));
+  }
+  return hops.summary();
+}
+
 double area_capacity_correlation(const overlay::Partition& partition) {
   RunningStats area_stats;
   RunningStats cap_stats;

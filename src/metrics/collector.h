@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ascii_render.h"
@@ -43,6 +44,13 @@ std::vector<ShadedRect> shaded_regions(const overlay::Partition& partition,
 /// summarizes hop counts.
 Summary routing_hop_summary(const overlay::Partition& partition, Rng& rng,
                             std::size_t samples);
+
+/// Routes one request from a uniformly random source region toward each
+/// target point and summarizes hop counts.  The mobile-user benchmarks feed
+/// sampled user positions through this to measure locate-request routing
+/// cost against the current partition.
+Summary target_hop_summary(const overlay::Partition& partition, Rng& rng,
+                           std::span<const Point> targets);
 
 /// Correlation between region area and the primary owner's capacity —
 /// quantifies Figure 3's claim that "more powerful nodes now own bigger

@@ -1,0 +1,115 @@
+#include "mobility/directory.h"
+
+#include <algorithm>
+
+namespace geogrid::mobility {
+
+LocationDirectory::ApplyResult LocationDirectory::apply_update(
+    const LocationRecord& record) {
+  ApplyResult result;
+  RegionId prev = kInvalidRegion;
+  if (const auto it = user_region_.find(record.user);
+      it != user_region_.end()) {
+    prev = it->second;
+  }
+  const RegionId hint = partition_.has_region(prev) ? prev : kInvalidRegion;
+  result.region = partition_.locate(record.position, hint);
+  if (result.region == kInvalidRegion) return result;  // empty partition
+
+  if (prev != kInvalidRegion && prev != result.region) {
+    // Boundary crossing: a newer report already in the old store (possible
+    // only if the caller reordered its own reports) keeps authority.
+    auto& old_store = stores_[prev];
+    if (const LocationRecord* old = old_store.locate(record.user);
+        old != nullptr && old->seq >= record.seq) {
+      ++counters_.updates_stale;
+      return result;
+    }
+    old_store.erase(record.user);
+    result.handoff = true;
+    ++counters_.handoffs;
+  }
+
+  auto [it, inserted] =
+      stores_.try_emplace(result.region, LocationStore(cell_size_));
+  result.applied = it->second.ingest(record);
+  if (result.applied) {
+    user_region_[record.user] = result.region;
+    ++counters_.updates_applied;
+  } else {
+    ++counters_.updates_stale;
+  }
+  return result;
+}
+
+const LocationRecord* LocationDirectory::locate(UserId user) {
+  const auto it = user_region_.find(user);
+  if (it != user_region_.end()) {
+    if (const auto sit = stores_.find(it->second); sit != stores_.end()) {
+      if (const LocationRecord* rec = sit->second.locate(user)) {
+        ++counters_.locate_hits;
+        return rec;
+      }
+    }
+  }
+  ++counters_.locate_misses;
+  return nullptr;
+}
+
+RegionId LocationDirectory::region_of(UserId user) const {
+  const auto it = user_region_.find(user);
+  return it == user_region_.end() ? kInvalidRegion : it->second;
+}
+
+const LocationStore* LocationDirectory::store(RegionId region) const {
+  const auto it = stores_.find(region);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+std::vector<LocationRecord> LocationDirectory::range(const Rect& rect) const {
+  std::vector<LocationRecord> out;
+  for (const auto& [id, region] : partition_.regions()) {
+    if (!region.rect.intersects(rect) && !region.rect.edge_adjacent(rect)) {
+      continue;
+    }
+    const auto it = stores_.find(id);
+    if (it == stores_.end()) continue;
+    auto part = it->second.range(rect);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<LocationRecord> LocationDirectory::k_nearest(
+    const Point& p, std::size_t k) const {
+  std::vector<LocationRecord> best;
+  if (k == 0) return best;
+  // Regions sorted by how close their rect can possibly get to p; once the
+  // next region's floor distance exceeds the kth-best hit, stop.
+  std::vector<std::pair<double, RegionId>> order;
+  order.reserve(stores_.size());
+  for (const auto& [id, store] : stores_) {
+    if (store.empty() || !partition_.has_region(id)) continue;
+    order.emplace_back(partition_.region(id).rect.distance_to(p), id);
+  }
+  std::sort(order.begin(), order.end());
+  const auto better = [&p](const LocationRecord& a, const LocationRecord& b) {
+    const double da = distance(a.position, p);
+    const double db = distance(b.position, p);
+    if (da != db) return da < db;
+    return a.user < b.user;
+  };
+  for (const auto& [floor_dist, id] : order) {
+    if (best.size() >= k && floor_dist > distance(best.back().position, p)) {
+      break;
+    }
+    for (const LocationRecord& rec : stores_.at(id).k_nearest(p, k)) {
+      const auto pos = std::lower_bound(best.begin(), best.end(), rec, better);
+      best.insert(pos, rec);
+      if (best.size() > k) best.pop_back();
+    }
+  }
+  return best;
+}
+
+}  // namespace geogrid::mobility

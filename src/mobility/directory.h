@@ -1,0 +1,78 @@
+// Engine-mode location directory: per-region stores over a Partition.
+//
+// Protocol mode routes every LocationUpdate through the overlay; engine mode
+// skips the wire and applies updates directly against the partition, the
+// same way engine-mode query sweeps bypass serialization.  LocationDirectory
+// keeps one LocationStore per region plus a user -> owning-region map, so
+// `apply_update` is a partition locate (O(1) with the per-user region hint,
+// since a user rarely leaves its region between reports) followed by an
+// O(1) ingest, and `locate(user)` never touches the partition at all.
+// Region-boundary crossings are detected here and counted as handoffs —
+// the engine-mode mirror of the UserHandoff protocol message.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "mobility/location_store.h"
+#include "overlay/partition.h"
+
+namespace geogrid::mobility {
+
+class LocationDirectory {
+ public:
+  struct Counters {
+    std::uint64_t updates_applied = 0;
+    std::uint64_t updates_stale = 0;  ///< rejected by the seq guard
+    std::uint64_t handoffs = 0;       ///< updates that crossed a region edge
+    std::uint64_t locate_hits = 0;
+    std::uint64_t locate_misses = 0;
+  };
+
+  /// What one apply_update did.
+  struct ApplyResult {
+    RegionId region = kInvalidRegion;  ///< region now holding the record
+    bool applied = false;
+    bool handoff = false;
+  };
+
+  explicit LocationDirectory(const overlay::Partition& partition,
+                             double cell_size = 1.0)
+      : partition_(partition), cell_size_(cell_size) {}
+
+  /// Routes a report to the store of the region covering it, evicting the
+  /// user's record from its previous region on a boundary crossing.
+  ApplyResult apply_update(const LocationRecord& record);
+
+  /// Point lookup via the user -> region map (counts hit/miss).
+  const LocationRecord* locate(UserId user);
+
+  /// The region currently holding `user`, or kInvalidRegion.
+  RegionId region_of(UserId user) const;
+
+  /// The store of one region (null when no user ever landed there).
+  const LocationStore* store(RegionId region) const;
+
+  /// All records inside `rect`, gathered across every intersecting region.
+  std::vector<LocationRecord> range(const Rect& rect) const;
+
+  /// The k records nearest `p` across the whole directory.  Visits region
+  /// stores in order of rect distance to `p` and stops once no unvisited
+  /// region can beat the kth-best candidate.
+  std::vector<LocationRecord> k_nearest(const Point& p, std::size_t k) const;
+
+  std::size_t size() const noexcept { return user_region_.size(); }
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  const overlay::Partition& partition_;
+  double cell_size_;
+  std::unordered_map<RegionId, LocationStore> stores_;
+  std::unordered_map<UserId, RegionId> user_region_;
+  Counters counters_;
+};
+
+}  // namespace geogrid::mobility

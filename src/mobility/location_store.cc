@@ -1,0 +1,154 @@
+#include "mobility/location_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geogrid::mobility {
+
+std::int32_t LocationStore::cell_coord(double v) const noexcept {
+  return static_cast<std::int32_t>(std::floor(v / cell_size_));
+}
+
+std::uint64_t LocationStore::cell_key_of(const Point& p) const noexcept {
+  return pack(cell_coord(p.x), cell_coord(p.y));
+}
+
+void LocationStore::cell_remove(std::uint64_t key, UserId user) {
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return;
+  auto& bucket = it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), user);
+  if (pos != bucket.end()) {
+    *pos = bucket.back();
+    bucket.pop_back();
+  }
+  if (bucket.empty()) cells_.erase(it);
+}
+
+bool LocationStore::ingest(const LocationRecord& record) {
+  auto [it, inserted] = by_user_.try_emplace(record.user, record);
+  if (!inserted) {
+    if (it->second.seq >= record.seq) return false;  // stale or replay
+    const std::uint64_t old_key = cell_key_of(it->second.position);
+    const std::uint64_t new_key = cell_key_of(record.position);
+    it->second = record;
+    if (old_key == new_key) return true;
+    cell_remove(old_key, record.user);
+  }
+  cells_[cell_key_of(record.position)].push_back(record.user);
+  return true;
+}
+
+const LocationRecord* LocationStore::locate(UserId user) const {
+  const auto it = by_user_.find(user);
+  return it == by_user_.end() ? nullptr : &it->second;
+}
+
+bool LocationStore::erase(UserId user) {
+  const auto it = by_user_.find(user);
+  if (it == by_user_.end()) return false;
+  cell_remove(cell_key_of(it->second.position), user);
+  by_user_.erase(it);
+  return true;
+}
+
+bool LocationStore::erase_if_stale(UserId user, std::uint64_t max_seq) {
+  const auto it = by_user_.find(user);
+  if (it == by_user_.end() || it->second.seq > max_seq) return false;
+  cell_remove(cell_key_of(it->second.position), user);
+  by_user_.erase(it);
+  return true;
+}
+
+void LocationStore::clear() {
+  by_user_.clear();
+  cells_.clear();
+}
+
+std::vector<LocationRecord> LocationStore::range(const Rect& rect) const {
+  std::vector<LocationRecord> out;
+  const std::int32_t cx0 = cell_coord(rect.x);
+  const std::int32_t cx1 = cell_coord(rect.right());
+  const std::int32_t cy0 = cell_coord(rect.y);
+  const std::int32_t cy1 = cell_coord(rect.top());
+  for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+    for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+      const auto it = cells_.find(pack(cx, cy));
+      if (it == cells_.end()) continue;
+      for (const UserId user : it->second) {
+        const LocationRecord& rec = by_user_.at(user);
+        if (rect.covers(rec.position) ||
+            rect.covers_inclusive(rec.position)) {
+          out.push_back(rec);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
+                                                     std::size_t k) const {
+  std::vector<LocationRecord> best;
+  if (k == 0 || by_user_.empty()) return best;
+  const auto better = [&p](const LocationRecord& a, const LocationRecord& b) {
+    const double da = distance(a.position, p);
+    const double db = distance(b.position, p);
+    if (da != db) return da < db;
+    return a.user < b.user;
+  };
+  // Expanding ring of cells around p.  After collecting k candidates the
+  // search may stop once the ring's nearest possible point is farther than
+  // the current kth-best distance.
+  const std::int32_t pcx = cell_coord(p.x);
+  const std::int32_t pcy = cell_coord(p.y);
+  // Worst-case ring radius: enough to sweep every materialized cell.
+  std::int32_t max_ring = 0;
+  for (const auto& [key, bucket] : cells_) {
+    const auto cx = static_cast<std::int32_t>(key >> 32);
+    const auto cy = static_cast<std::int32_t>(key & 0xffffffffu);
+    max_ring = std::max({max_ring, std::abs(cx - pcx), std::abs(cy - pcy)});
+  }
+  for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
+    if (best.size() >= k) {
+      // Cells in this ring are at least (ring - 1) * cell_size away.
+      const double ring_min = (ring - 1) * cell_size_;
+      if (ring_min > distance(best.back().position, p)) break;
+    }
+    for (std::int32_t cx = pcx - ring; cx <= pcx + ring; ++cx) {
+      for (std::int32_t cy = pcy - ring; cy <= pcy + ring; ++cy) {
+        if (std::max(std::abs(cx - pcx), std::abs(cy - pcy)) != ring) {
+          continue;  // interior cells were visited by smaller rings
+        }
+        const auto it = cells_.find(pack(cx, cy));
+        if (it == cells_.end()) continue;
+        for (const UserId user : it->second) {
+          const LocationRecord& rec = by_user_.at(user);
+          const auto pos =
+              std::lower_bound(best.begin(), best.end(), rec, better);
+          best.insert(pos, rec);
+          if (best.size() > k) best.pop_back();
+        }
+      }
+    }
+  }
+  return best;
+}
+
+void LocationStore::encode(net::Writer& w) const {
+  w.f64(cell_size_);
+  w.varint(by_user_.size());
+  for (const auto& [user, rec] : by_user_) rec.encode(w);
+}
+
+LocationStore LocationStore::decode(net::Reader& r) {
+  const double cell_size = r.f64();
+  LocationStore store(cell_size);
+  const auto n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    store.ingest(LocationRecord::decode(r));
+  }
+  return store;
+}
+
+}  // namespace geogrid::mobility

@@ -1,0 +1,113 @@
+// Spatial store of mobile-user location records.
+//
+// Each region owner keeps one LocationStore holding the latest timestamped
+// report of every user currently inside its region.  The store is the hot
+// data structure of the mobile-user layer: the paper's workload is dominated
+// by location updates from moving users, so ingest must be O(1) and spatial
+// queries must not scan the whole population.  Records are indexed twice:
+// a hash map by user (point lookup, the `locate(user)` primitive) and a
+// sparse uniform grid of square cells (range scan and k-nearest).  The grid
+// is sparse — cells materialize only where users are — so one store works
+// unchanged whether its region is the whole plane or a post-split sliver,
+// and region splits/merges never force a re-grid.
+//
+// Per-user sequence numbers make ingestion idempotent and reorder-safe: a
+// report older than the stored one is rejected, so replicated stores
+// converge no matter how updates and handoffs interleave on the wire.
+// The store serializes through the net codec so a primary can replicate it
+// to its secondary over the existing dual-peer SyncState path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "net/codec.h"
+
+namespace geogrid::mobility {
+
+/// The latest known position of one user.
+struct LocationRecord {
+  UserId user{};
+  Point position{};
+  std::uint64_t seq = 0;    ///< per-user monotonic report counter
+  double timestamp = 0.0;   ///< virtual time of the report
+
+  friend bool operator==(const LocationRecord&,
+                         const LocationRecord&) = default;
+
+  void encode(net::Writer& w) const {
+    w.user_id(user);
+    w.point(position);
+    w.u64(seq);
+    w.f64(timestamp);
+  }
+  static LocationRecord decode(net::Reader& r) {
+    LocationRecord rec;
+    rec.user = r.user_id();
+    rec.position = r.point();
+    rec.seq = r.u64();
+    rec.timestamp = r.f64();
+    return rec;
+  }
+};
+
+class LocationStore {
+ public:
+  /// `cell_size` is the grid pitch in miles.  The default keeps cell
+  /// populations small on the 64x64-mile plane even at 1M users
+  /// (~244 users/cell uniform) while range scans touch few cells.
+  explicit LocationStore(double cell_size = 1.0) : cell_size_(cell_size) {}
+
+  /// Ingests a report.  Returns true when it was applied; false when a
+  /// record with an equal or newer sequence already exists (stale report,
+  /// replay, or reordered delivery).
+  bool ingest(const LocationRecord& record);
+
+  /// Point lookup: the stored record for `user`, if present.
+  const LocationRecord* locate(UserId user) const;
+
+  /// Removes `user` outright.  Returns true when a record was removed.
+  bool erase(UserId user);
+
+  /// Handoff eviction: removes `user` only when the stored sequence is
+  /// <= `max_seq` (a newer report has authority over an older eviction).
+  bool erase_if_stale(UserId user, std::uint64_t max_seq);
+
+  /// All records whose position the rect covers (half-open cover test on
+  /// the east/north edges, matching region semantics).
+  std::vector<LocationRecord> range(const Rect& rect) const;
+
+  /// The k records nearest to `p` (fewer when the store is smaller),
+  /// ordered by ascending distance; ties break on user id.
+  std::vector<LocationRecord> k_nearest(const Point& p, std::size_t k) const;
+
+  std::size_t size() const noexcept { return by_user_.size(); }
+  bool empty() const noexcept { return by_user_.empty(); }
+  void clear();
+
+  double cell_size() const noexcept { return cell_size_; }
+
+  /// Serialization for primary -> secondary replication.
+  void encode(net::Writer& w) const;
+  static LocationStore decode(net::Reader& r);
+
+ private:
+  /// Packs the signed cell coordinates of a point into one key.
+  std::uint64_t cell_key_of(const Point& p) const noexcept;
+  static std::uint64_t pack(std::int32_t cx, std::int32_t cy) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+  std::int32_t cell_coord(double v) const noexcept;
+  void cell_remove(std::uint64_t key, UserId user);
+
+  double cell_size_;
+  std::unordered_map<UserId, LocationRecord> by_user_;
+  std::unordered_map<std::uint64_t, std::vector<UserId>> cells_;
+};
+
+}  // namespace geogrid::mobility

@@ -1,0 +1,63 @@
+#include "mobility/motion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geogrid::mobility {
+
+UserPopulation::UserPopulation(std::size_t count, Options options,
+                               const workload::HotSpotField* field, Rng rng)
+    : options_(options), field_(field), rng_(rng) {
+  users_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    MobileUser user;
+    user.id = UserId{static_cast<std::uint32_t>(i + 1)};
+    user.position = sample_point();
+    retarget(user, 0.0);
+    user.pause_until = 0.0;  // everyone starts moving immediately
+    users_.push_back(user);
+  }
+}
+
+Point UserPopulation::sample_point() {
+  const Rect& plane = options_.plane;
+  if (options_.model == MotionModel::kHotspotAttracted && field_ != nullptr &&
+      rng_.chance(options_.attraction)) {
+    const Point spot = field_->sample_weighted_point(rng_);
+    const double r = options_.attraction_jitter;
+    const Point jittered{spot.x + rng_.uniform(-r, r),
+                         spot.y + rng_.uniform(-r, r)};
+    return plane.clamp(jittered);
+  }
+  return Point{rng_.uniform(plane.x, plane.right()),
+               rng_.uniform(plane.y, plane.top())};
+}
+
+void UserPopulation::retarget(MobileUser& user, double now) {
+  user.waypoint = sample_point();
+  user.speed = rng_.uniform(options_.min_speed, options_.max_speed);
+  user.pause_until =
+      now + rng_.uniform(options_.min_pause, options_.max_pause);
+}
+
+void UserPopulation::step(double dt, double now) {
+  for (MobileUser& user : users_) {
+    if (now < user.pause_until) continue;
+    double budget = user.speed * dt;
+    // A fast user may reach its waypoint mid-step; the remainder of the
+    // step starts the pause (arrival consumes the rest of this tick).
+    const double dist = distance(user.position, user.waypoint);
+    if (dist <= budget || dist == 0.0) {
+      user.position = user.waypoint;
+      retarget(user, now);
+      continue;
+    }
+    const double fx = (user.waypoint.x - user.position.x) / dist;
+    const double fy = (user.waypoint.y - user.position.y) / dist;
+    user.position.x += fx * budget;
+    user.position.y += fy * budget;
+    user.position = options_.plane.clamp(user.position);
+  }
+}
+
+}  // namespace geogrid::mobility

@@ -1,0 +1,89 @@
+// Mobile users and seeded motion models.
+//
+// The paper's premise is that GeoGrid "provides location-based services to
+// mobile users through fixed proxy nodes"; this module supplies the mobile
+// users.  Two classic motion models over the 64x64-mile plane:
+//
+//  * random waypoint — pick a uniform destination, travel at a sampled
+//    speed, pause, repeat (the standard mobility baseline);
+//  * hot-spot-attracted walk — with probability `attraction` the next
+//    waypoint is drawn near a hot spot of the workload field (people drive
+//    *to* the stadium), otherwise uniform.  This couples user density to
+//    the same field the query workload concentrates on.
+//
+// All randomness flows through the explicit Rng, so a population's entire
+// trajectory is bit-reproducible from its seed.  Time is virtual seconds;
+// speeds are miles per virtual second.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "workload/hotspot.h"
+
+namespace geogrid::mobility {
+
+/// One simulated mobile user.
+struct MobileUser {
+  UserId id{};
+  Point position{};
+  Point waypoint{};
+  double speed = 0.0;        ///< miles per virtual second toward waypoint
+  double pause_until = 0.0;  ///< virtual time the current pause ends
+  std::uint64_t next_seq = 1;  ///< sequence number of the next report
+};
+
+/// Which waypoint-selection rule a population follows.
+enum class MotionModel {
+  kRandomWaypoint,
+  kHotspotAttracted,
+};
+
+class UserPopulation {
+ public:
+  struct Options {
+    Rect plane{0.0, 0.0, 64.0, 64.0};
+    MotionModel model = MotionModel::kRandomWaypoint;
+    /// Speed range, miles per virtual second.  Defaults span ~11-72 mph.
+    double min_speed = 0.003;
+    double max_speed = 0.02;
+    /// Pause range at each waypoint, virtual seconds.
+    double min_pause = 0.0;
+    double max_pause = 30.0;
+    /// Hot-spot-attracted walk: probability a waypoint targets a hot spot,
+    /// and the uniform jitter radius (miles) around the sampled spot.
+    double attraction = 0.8;
+    double attraction_jitter = 1.0;
+  };
+
+  /// Spawns `count` users at model-distributed positions.  `field` supplies
+  /// the hot spots for kHotspotAttracted and may be null for
+  /// kRandomWaypoint.  User ids are 1..count.
+  UserPopulation(std::size_t count, Options options,
+                 const workload::HotSpotField* field, Rng rng);
+
+  /// Advances every user by `dt` virtual seconds ending at time `now`:
+  /// move toward the waypoint, pause on arrival, then re-target.
+  void step(double dt, double now);
+
+  std::vector<MobileUser>& users() noexcept { return users_; }
+  const std::vector<MobileUser>& users() const noexcept { return users_; }
+  const Options& options() const noexcept { return options_; }
+
+  /// Direct access for tests/harnesses that script a user's movement.
+  MobileUser& user(std::size_t index) { return users_[index]; }
+
+ private:
+  Point sample_point();
+  void retarget(MobileUser& user, double now);
+
+  Options options_;
+  const workload::HotSpotField* field_;
+  Rng rng_;
+  std::vector<MobileUser> users_;
+};
+
+}  // namespace geogrid::mobility

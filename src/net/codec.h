@@ -70,6 +70,7 @@ class Writer {
 
   void node_id(NodeId id) { u32(id.value); }
   void region_id(RegionId id) { u32(id.value); }
+  void user_id(UserId id) { u32(id.value); }
 
  private:
   void raw(const void* data, std::size_t n) {
@@ -128,6 +129,7 @@ class Reader {
 
   NodeId node_id() { return NodeId{u32()}; }
   RegionId region_id() { return RegionId{u32()}; }
+  UserId user_id() { return UserId{u32()}; }
 
  private:
   template <typename T>

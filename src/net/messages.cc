@@ -62,6 +62,11 @@ std::string_view message_name(MsgType type) {
     case MsgType::kSubscribeAck: return "SubscribeAck";
     case MsgType::kPublish: return "Publish";
     case MsgType::kNotify: return "Notify";
+    case MsgType::kLocationUpdate: return "LocationUpdate";
+    case MsgType::kLocationUpdateAck: return "LocationUpdateAck";
+    case MsgType::kUserHandoff: return "UserHandoff";
+    case MsgType::kLocateRequest: return "LocateRequest";
+    case MsgType::kLocateReply: return "LocateReply";
   }
   return "Unknown";
 }

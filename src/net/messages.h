@@ -73,6 +73,12 @@ enum class MsgType : std::uint16_t {
   kSubscribeAck = 83,
   kPublish = 84,
   kNotify = 85,
+  // Mobile-user layer.
+  kLocationUpdate = 90,
+  kLocationUpdateAck = 91,
+  kUserHandoff = 92,
+  kLocateRequest = 93,
+  kLocateReply = 94,
 };
 
 namespace detail {
@@ -823,6 +829,150 @@ struct Notify {
 };
 
 // ---------------------------------------------------------------------------
+// Mobile-user layer.
+// ---------------------------------------------------------------------------
+
+/// Timestamped location report from a mobile user, forwarded by its access
+/// proxy and routed to the region covering the new position.  `seq` is a
+/// per-user monotonic counter so reordered or replayed reports cannot roll a
+/// record backwards.  When `has_prev` is set the previous report's position
+/// travels along: the ingesting owner uses it to (a) suppress duplicate
+/// subscription notifications while the user wanders inside one subscribed
+/// area and (b) evict the stale record from the old owning region when the
+/// movement crossed a region boundary.
+struct LocationUpdate {
+  static constexpr MsgType kType = MsgType::kLocationUpdate;
+  UserId user{};
+  Point location{};
+  std::uint64_t seq = 0;
+  bool has_prev = false;
+  Point prev_location{};
+  NodeInfo reporter{};  ///< access proxy to acknowledge
+
+  void encode(Writer& w) const {
+    w.user_id(user);
+    w.point(location);
+    w.u64(seq);
+    w.boolean(has_prev);
+    if (has_prev) w.point(prev_location);
+    reporter.encode(w);
+  }
+  static LocationUpdate decode(Reader& r) {
+    LocationUpdate m;
+    m.user = r.user_id();
+    m.location = r.point();
+    m.seq = r.u64();
+    m.has_prev = r.boolean();
+    if (m.has_prev) m.prev_location = r.point();
+    m.reporter = NodeInfo::decode(r);
+    return m;
+  }
+};
+
+/// Owner -> access proxy: the update was ingested into `region`.
+struct LocationUpdateAck {
+  static constexpr MsgType kType = MsgType::kLocationUpdateAck;
+  UserId user{};
+  std::uint64_t seq = 0;
+  RegionId region{};
+
+  void encode(Writer& w) const {
+    w.user_id(user);
+    w.u64(seq);
+    w.region_id(region);
+  }
+  static LocationUpdateAck decode(Reader& r) {
+    LocationUpdateAck m;
+    m.user = r.user_id();
+    m.seq = r.u64();
+    m.region = r.region_id();
+    return m;
+  }
+};
+
+/// New owning region -> old owning region (routed toward the user's previous
+/// position): the user moved into `new_region`; drop any record with
+/// sequence <= `seq`.  The record itself travels with the LocationUpdate, so
+/// the handoff is an eviction notice, not a data transfer.
+struct UserHandoff {
+  static constexpr MsgType kType = MsgType::kUserHandoff;
+  UserId user{};
+  std::uint64_t seq = 0;
+  RegionId new_region{};
+
+  void encode(Writer& w) const {
+    w.user_id(user);
+    w.u64(seq);
+    w.region_id(new_region);
+  }
+  static UserHandoff decode(Reader& r) {
+    UserHandoff m;
+    m.user = r.user_id();
+    m.seq = r.u64();
+    m.new_region = r.region_id();
+    return m;
+  }
+};
+
+/// Point lookup for a user, routed toward `hint` (the requester's last known
+/// position for the user).  Whoever covers the hint answers from its
+/// location store.
+struct LocateRequest {
+  static constexpr MsgType kType = MsgType::kLocateRequest;
+  std::uint64_t request_id = 0;
+  NodeInfo requester{};
+  UserId user{};
+  Point hint{};
+
+  void encode(Writer& w) const {
+    w.u64(request_id);
+    requester.encode(w);
+    w.user_id(user);
+    w.point(hint);
+  }
+  static LocateRequest decode(Reader& r) {
+    LocateRequest m;
+    m.request_id = r.u64();
+    m.requester = NodeInfo::decode(r);
+    m.user = r.user_id();
+    m.hint = r.point();
+    return m;
+  }
+};
+
+struct LocateReply {
+  static constexpr MsgType kType = MsgType::kLocateReply;
+  std::uint64_t request_id = 0;
+  UserId user{};
+  bool found = false;
+  Point location{};
+  std::uint64_t seq = 0;
+  RegionId region{};
+  std::uint16_t hops = 0;  ///< routed hops the request took to the owner
+
+  void encode(Writer& w) const {
+    w.u64(request_id);
+    w.user_id(user);
+    w.boolean(found);
+    w.point(location);
+    w.u64(seq);
+    w.region_id(region);
+    w.u16(hops);
+  }
+  static LocateReply decode(Reader& r) {
+    LocateReply m;
+    m.request_id = r.u64();
+    m.user = r.user_id();
+    m.found = r.boolean();
+    m.location = r.point();
+    m.seq = r.u64();
+    m.region = r.region_id();
+    m.hops = r.u16();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Envelope variant + framing.
 // ---------------------------------------------------------------------------
 
@@ -835,7 +985,8 @@ using Message = std::variant<
     StealSecondaryReject, SwitchRequest, SwitchGrant, SwitchReject,
     MergeRequest, MergeGrant, MergeReject, SplitRegionNotice,
     TtlSearchRequest, TtlSearchReply, OwnerProbe, Routed, LocationQuery,
-    QueryResult, Subscribe, SubscribeAck, Publish, Notify>;
+    QueryResult, Subscribe, SubscribeAck, Publish, Notify, LocationUpdate,
+    LocationUpdateAck, UserHandoff, LocateRequest, LocateReply>;
 
 /// Wire tag of a message held in the variant.
 MsgType message_type(const Message& m);

@@ -28,6 +28,15 @@ class QueryGenerator {
     /// traffic).
     double background_fraction = 0.1;
     std::vector<std::string> topics = {"traffic", "parking", "gas", "events"};
+
+    /// A workload whose subscriptions track mobile-user presence: every
+    /// filter is the presence topic, so each subscription fires when a
+    /// user's reported position enters its area.
+    static Options presence_tracking() {
+      Options o;
+      o.topics = {"presence"};
+      return o;
+    }
   };
 
   QueryGenerator(const HotSpotField& field, Options options, Rng rng)

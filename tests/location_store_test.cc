@@ -1,0 +1,148 @@
+// LocationStore: seq-guarded ingestion, spatial queries, serialization.
+#include "mobility/location_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace geogrid::mobility {
+namespace {
+
+LocationRecord rec(std::uint32_t user, double x, double y,
+                   std::uint64_t seq = 1, double t = 0.0) {
+  return LocationRecord{UserId{user}, Point{x, y}, seq, t};
+}
+
+TEST(LocationStore, IngestAndLocate) {
+  LocationStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.ingest(rec(1, 10.0, 20.0, 1, 5.0)));
+  ASSERT_NE(store.locate(UserId{1}), nullptr);
+  EXPECT_EQ(store.locate(UserId{1})->position, (Point{10.0, 20.0}));
+  EXPECT_EQ(store.locate(UserId{1})->timestamp, 5.0);
+  EXPECT_EQ(store.locate(UserId{2}), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(LocationStore, StaleAndReplayedReportsAreRejected) {
+  LocationStore store;
+  EXPECT_TRUE(store.ingest(rec(1, 1.0, 1.0, 5)));
+  EXPECT_FALSE(store.ingest(rec(1, 2.0, 2.0, 5)));  // replay of same seq
+  EXPECT_FALSE(store.ingest(rec(1, 3.0, 3.0, 4)));  // reordered older report
+  EXPECT_EQ(store.locate(UserId{1})->position, (Point{1.0, 1.0}));
+  EXPECT_TRUE(store.ingest(rec(1, 2.0, 2.0, 6)));
+  EXPECT_EQ(store.locate(UserId{1})->position, (Point{2.0, 2.0}));
+  EXPECT_EQ(store.size(), 1u);  // updates never duplicate the record
+}
+
+TEST(LocationStore, UpdateMovesRecordBetweenCells) {
+  LocationStore store(1.0);
+  EXPECT_TRUE(store.ingest(rec(1, 0.5, 0.5, 1)));
+  EXPECT_TRUE(store.ingest(rec(1, 10.5, 10.5, 2)));
+  // The old cell must not still report the user.
+  EXPECT_TRUE(store.range(Rect{0, 0, 2, 2}).empty());
+  const auto hits = store.range(Rect{10, 10, 2, 2});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].user, UserId{1});
+}
+
+TEST(LocationStore, EraseIfStaleRespectsNewerRecord) {
+  LocationStore store;
+  EXPECT_TRUE(store.ingest(rec(1, 1.0, 1.0, 10)));
+  EXPECT_FALSE(store.erase_if_stale(UserId{1}, 9));  // record is newer
+  EXPECT_NE(store.locate(UserId{1}), nullptr);
+  EXPECT_TRUE(store.erase_if_stale(UserId{1}, 10));  // eviction authority
+  EXPECT_EQ(store.locate(UserId{1}), nullptr);
+  EXPECT_FALSE(store.erase_if_stale(UserId{1}, 99));  // already gone
+}
+
+TEST(LocationStore, RangeReturnsExactlyCoveredUsers) {
+  LocationStore store(1.0);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(store.ingest(rec(i + 1, 0.5 + i, 0.5 + i)));
+  }
+  auto hits = store.range(Rect{2.0, 2.0, 3.0, 3.0});
+  std::vector<std::uint32_t> ids;
+  for (const auto& h : hits) ids.push_back(h.user.value);
+  std::sort(ids.begin(), ids.end());
+  // Users at (2.5,2.5), (3.5,3.5), (4.5,4.5) fall inside [2,5]x[2,5].
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{3, 4, 5}));
+}
+
+TEST(LocationStore, KNearestOrdersByDistance) {
+  LocationStore store(1.0);
+  EXPECT_TRUE(store.ingest(rec(1, 1.0, 0.0)));
+  EXPECT_TRUE(store.ingest(rec(2, 3.0, 0.0)));
+  EXPECT_TRUE(store.ingest(rec(3, 7.0, 0.0)));
+  EXPECT_TRUE(store.ingest(rec(4, 20.0, 0.0)));
+  const auto nearest = store.k_nearest(Point{0.0, 0.0}, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0].user, UserId{1});
+  EXPECT_EQ(nearest[1].user, UserId{2});
+  EXPECT_EQ(nearest[2].user, UserId{3});
+}
+
+TEST(LocationStore, KNearestHandlesFewerRecordsThanK) {
+  LocationStore store;
+  EXPECT_TRUE(store.ingest(rec(1, 5.0, 5.0)));
+  EXPECT_EQ(store.k_nearest(Point{0, 0}, 10).size(), 1u);
+  EXPECT_TRUE(store.k_nearest(Point{0, 0}, 0).empty());
+  LocationStore empty;
+  EXPECT_TRUE(empty.k_nearest(Point{0, 0}, 5).empty());
+}
+
+TEST(LocationStore, KNearestMatchesBruteForce) {
+  LocationStore store(2.0);
+  Rng rng(42);
+  std::vector<LocationRecord> all;
+  for (std::uint32_t i = 1; i <= 200; ++i) {
+    const auto r = rec(i, rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0));
+    all.push_back(r);
+    EXPECT_TRUE(store.ingest(r));
+  }
+  const Point q{rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0)};
+  auto expected = all;
+  std::sort(expected.begin(), expected.end(),
+            [&q](const LocationRecord& a, const LocationRecord& b) {
+              const double da = distance(a.position, q);
+              const double db = distance(b.position, q);
+              if (da != db) return da < db;
+              return a.user < b.user;
+            });
+  const auto got = store.k_nearest(q, 17);
+  ASSERT_EQ(got.size(), 17u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].user, expected[i].user) << "rank " << i;
+  }
+}
+
+TEST(LocationStore, SerializationRoundTrips) {
+  LocationStore store(0.5);
+  Rng rng(7);
+  for (std::uint32_t i = 1; i <= 50; ++i) {
+    EXPECT_TRUE(store.ingest(rec(i, rng.uniform(0.0, 64.0),
+                                 rng.uniform(0.0, 64.0), i, i * 0.25)));
+  }
+  net::Writer w;
+  store.encode(w);
+  const auto bytes = std::move(w).take();
+  net::Reader r(bytes.data(), bytes.size());
+  const LocationStore copy = LocationStore::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(copy.cell_size(), 0.5);
+  ASSERT_EQ(copy.size(), store.size());
+  for (std::uint32_t i = 1; i <= 50; ++i) {
+    const auto* a = store.locate(UserId{i});
+    const auto* b = copy.locate(UserId{i});
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(*a, *b);
+  }
+  // The rebuilt spatial index answers identically.
+  const Rect window{16, 16, 8, 8};
+  EXPECT_EQ(store.range(window).size(), copy.range(window).size());
+}
+
+}  // namespace
+}  // namespace geogrid::mobility

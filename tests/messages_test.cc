@@ -133,8 +133,48 @@ TEST(Messages, EveryTypeRoundTrips) {
   all.push_back(SubscribeAck{789, RegionId{27}});
   all.push_back(Publish{Point{11, 11}, "parking", "lot A: 3 spots"});
   all.push_back(Notify{789, "parking", "lot A: 3 spots"});
+  {
+    LocationUpdate u;
+    u.user = UserId{321};
+    u.location = Point{8.5, 9.25};
+    u.seq = 17;
+    u.has_prev = true;
+    u.prev_location = Point{8.0, 9.0};
+    u.reporter = sample_node(13);
+    all.push_back(u);
+  }
+  {
+    LocationUpdate fresh;  // first report: no previous position on the wire
+    fresh.user = UserId{322};
+    fresh.location = Point{1.0, 2.0};
+    fresh.seq = 1;
+    fresh.reporter = sample_node(14);
+    all.push_back(fresh);
+  }
+  all.push_back(LocationUpdateAck{UserId{321}, 17, RegionId{29}});
+  all.push_back(UserHandoff{UserId{321}, 17, RegionId{30}});
+  {
+    LocateRequest lr;
+    lr.request_id = 9001;
+    lr.requester = sample_node(15);
+    lr.user = UserId{321};
+    lr.hint = Point{8.0, 9.0};
+    all.push_back(lr);
+  }
+  {
+    LocateReply reply;
+    reply.request_id = 9001;
+    reply.user = UserId{321};
+    reply.found = true;
+    reply.location = Point{8.5, 9.25};
+    reply.seq = 17;
+    reply.region = RegionId{29};
+    reply.hops = 6;
+    all.push_back(reply);
+  }
+  all.push_back(LocateReply{9002, UserId{999}});  // not-found reply
 
-  EXPECT_EQ(all.size(), 39u);  // every message type exercised
+  EXPECT_EQ(all.size(), 46u);  // every message type exercised
   for (const Message& m : all) expect_roundtrip(m);
 }
 
