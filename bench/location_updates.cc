@@ -1,21 +1,35 @@
 // Mobile-user ingestion throughput: sustained location updates/sec and
-// locate cost versus user population, over the engine-mode fast path
-// (mobility::LocationDirectory on an authoritative Partition).
+// locate cost versus user population, over the engine-mode fast path.
 //
 // Each population runs the full motion loop for 60 virtual seconds: every
 // virtual second the seeded random-waypoint/hot-spot walk advances and every
 // user reports its position, so the numbers include region lookup, handoff
 // eviction and spatial-index maintenance — not just hash-map inserts.
+// Three engines run on identical traces:
+//
+//   serial   — mobility::LocationDirectory, one apply_update per report
+//              (the committed-baseline configuration; updates_per_sec)
+//   k1       — mobility::ShardedDirectory with 1 shard: the batched fast
+//              path with the rect-memo locate, still single-threaded
+//   sharded  — ShardedDirectory with the default shard count (hardware
+//              threads), the parallel configuration
+//
+// The engines' applied/stale/handoff counters are cross-checked after every
+// population — a mismatch aborts the bench, so the throughput numbers can
+// only come from equivalent work.
+//
 // Locate cost is measured two ways: wall-clock latency of point lookups,
 // and the greedy-routing hop count a LocateRequest would pay on the wire
 // (metrics::target_hop_summary against sampled user positions).
 //
 // Populations sweep 10k-100k by default; set GEOGRID_BENCH_LARGE=1 to add
-// the 1M-user point.  Set GEOGRID_JSON_OUT=<path> to write the machine-
-// readable baseline (BENCH_location_updates.json).
+// the 1M-user point, or GEOGRID_BENCH_POPS=10000,50000 to pick the sweep
+// explicitly.  Set GEOGRID_JSON_OUT=<path> to write the machine-readable
+// baseline (BENCH_location_updates.json).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.h"
@@ -24,6 +38,7 @@
 #include "metrics/collector.h"
 #include "mobility/directory.h"
 #include "mobility/motion.h"
+#include "mobility/sharded_directory.h"
 
 using namespace geogrid;
 
@@ -36,11 +51,14 @@ constexpr std::size_t kHopTargets = 2'000;
 
 struct RunResult {
   std::size_t users = 0;
-  double updates_per_sec = 0.0;    ///< sustained ingest throughput
-  double locate_ns = 0.0;          ///< mean wall-clock point-lookup latency
-  double locate_hops_mean = 0.0;   ///< greedy-routing hops to the owner
+  double updates_per_sec = 0.0;  ///< serial LocationDirectory (baseline key)
+  double updates_per_sec_k1 = 0.0;       ///< ShardedDirectory, 1 shard
+  double updates_per_sec_sharded = 0.0;  ///< ShardedDirectory, default shards
+  std::size_t shards = 0;                ///< shard count of the sharded run
+  double locate_ns = 0.0;         ///< mean wall-clock point-lookup latency
+  double locate_hops_mean = 0.0;  ///< greedy-routing hops to the owner
   double locate_hops_max = 0.0;
-  std::uint64_t handoffs = 0;      ///< region-boundary crossings
+  std::uint64_t handoffs = 0;  ///< region-boundary crossings
   std::uint64_t updates = 0;
 };
 
@@ -50,22 +68,21 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-RunResult measure(std::size_t user_count, std::uint64_t seed) {
-  core::SimulationOptions opt;
-  opt.mode = core::GridMode::kDualPeer;
-  opt.node_count = kNodes;
-  opt.seed = seed;
-  core::GridSimulation sim(opt);
-
+mobility::UserPopulation make_population(std::size_t user_count,
+                                         std::uint64_t seed,
+                                         workload::HotSpotField* field) {
   mobility::UserPopulation::Options mopt;
   mopt.model = mobility::MotionModel::kHotspotAttracted;
-  mobility::UserPopulation pop(user_count, mopt, &sim.field(),
-                               Rng(seed * 31 + 7));
-  mobility::LocationDirectory dir(sim.partition());
+  return mobility::UserPopulation(user_count, mopt, field,
+                                  Rng(seed * 31 + 7));
+}
 
-  RunResult r;
-  r.users = user_count;
-  const auto ingest_start = std::chrono::steady_clock::now();
+/// Serial reference: one apply_update per report, per-tick motion stepping
+/// inside the timed loop (the committed baseline's methodology).
+double run_serial(core::GridSimulation& sim, std::size_t user_count,
+                  std::uint64_t seed, mobility::LocationDirectory& dir) {
+  auto pop = make_population(user_count, seed, &sim.field());
+  const auto start = std::chrono::steady_clock::now();
   double now = 0.0;
   for (int tick = 0; tick < static_cast<int>(kVirtualSeconds); ++tick) {
     now += 1.0;
@@ -74,21 +91,87 @@ RunResult measure(std::size_t user_count, std::uint64_t seed) {
       dir.apply_update({u.id, u.position, u.next_seq++, now});
     }
   }
-  const double ingest_secs = seconds_since(ingest_start);
-  r.updates = dir.counters().updates_applied + dir.counters().updates_stale;
-  r.updates_per_sec = static_cast<double>(r.updates) / ingest_secs;
-  r.handoffs = dir.counters().handoffs;
+  return seconds_since(start);
+}
 
-  // Point-lookup latency over a deterministic sample of the population.
+/// Batched path: same trace, same in-loop motion stepping, one
+/// apply_updates call per tick.
+double run_sharded(core::GridSimulation& sim, std::size_t user_count,
+                   std::uint64_t seed, mobility::ShardedDirectory& dir) {
+  auto pop = make_population(user_count, seed, &sim.field());
+  std::vector<mobility::LocationRecord> batch(user_count);
+  const auto start = std::chrono::steady_clock::now();
+  double now = 0.0;
+  for (int tick = 0; tick < static_cast<int>(kVirtualSeconds); ++tick) {
+    now += 1.0;
+    pop.step(1.0, now);
+    auto& users = pop.users();
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      batch[i] = {users[i].id, users[i].position, users[i].next_seq++, now};
+    }
+    dir.apply_updates(batch);
+  }
+  return seconds_since(start);
+}
+
+void check_parity(const char* what, std::uint64_t a, std::uint64_t b) {
+  if (a != b) {
+    std::fprintf(stderr, "engine mismatch on %s: %llu vs %llu\n", what,
+                 static_cast<unsigned long long>(a),
+                 static_cast<unsigned long long>(b));
+    std::exit(1);
+  }
+}
+
+RunResult measure(std::size_t user_count, std::uint64_t seed) {
+  core::SimulationOptions opt;
+  opt.mode = core::GridMode::kDualPeer;
+  opt.node_count = kNodes;
+  opt.seed = seed;
+  core::GridSimulation sim(opt);
+
+  RunResult r;
+  r.users = user_count;
+
+  mobility::LocationDirectory serial_dir(sim.partition());
+  const double serial_secs = run_serial(sim, user_count, seed, serial_dir);
+  r.updates = serial_dir.counters().updates_applied +
+              serial_dir.counters().updates_stale;
+  r.updates_per_sec = static_cast<double>(r.updates) / serial_secs;
+  r.handoffs = serial_dir.counters().handoffs;
+
+  mobility::ShardedDirectory k1_dir(sim.partition(), {.shards = 1});
+  const double k1_secs = run_sharded(sim, user_count, seed, k1_dir);
+  r.updates_per_sec_k1 = static_cast<double>(r.updates) / k1_secs;
+
+  mobility::ShardedDirectory sharded_dir(sim.partition(), {.shards = 0});
+  const double sharded_secs = run_sharded(sim, user_count, seed, sharded_dir);
+  r.updates_per_sec_sharded = static_cast<double>(r.updates) / sharded_secs;
+  r.shards = sharded_dir.shard_count();
+
+  // All three engines consumed the same trace; a counter mismatch means a
+  // fast path cut a corner and its throughput number is meaningless.
+  for (const auto* d : {&k1_dir, &sharded_dir}) {
+    check_parity("updates_applied", serial_dir.counters().updates_applied,
+                 d->counters().updates_applied);
+    check_parity("updates_stale", serial_dir.counters().updates_stale,
+                 d->counters().updates_stale);
+    check_parity("handoffs", serial_dir.counters().handoffs,
+                 d->counters().handoffs);
+  }
+
+  // Point-lookup latency over a deterministic sample of the population,
+  // against the sharded engine's per-user memo.
   Rng sample_rng(seed + 1);
   std::vector<UserId> probes(kLocateSamples);
   for (auto& p : probes) {
-    p = pop.users()[sample_rng.uniform_index(pop.users().size())].id;
+    p = UserId{static_cast<std::uint32_t>(
+        sample_rng.uniform_index(user_count) + 1)};
   }
   const auto locate_start = std::chrono::steady_clock::now();
   std::size_t found = 0;
   for (const UserId u : probes) {
-    if (dir.locate(u) != nullptr) ++found;
+    if (sharded_dir.locate(u).has_value()) ++found;
   }
   const double locate_secs = seconds_since(locate_start);
   r.locate_ns = locate_secs * 1e9 / static_cast<double>(probes.size());
@@ -102,8 +185,9 @@ RunResult measure(std::size_t user_count, std::uint64_t seed) {
   std::vector<Point> targets;
   targets.reserve(kHopTargets);
   for (std::size_t i = 0; i < kHopTargets; ++i) {
-    targets.push_back(
-        pop.users()[sample_rng.uniform_index(pop.users().size())].position);
+    const UserId u{static_cast<std::uint32_t>(
+        sample_rng.uniform_index(user_count) + 1)};
+    targets.push_back(sharded_dir.locate(u)->position);
   }
   Rng hop_rng(seed + 2);
   const Summary hops =
@@ -113,36 +197,58 @@ RunResult measure(std::size_t user_count, std::uint64_t seed) {
   return r;
 }
 
+std::vector<std::size_t> pick_populations() {
+  if (const char* env = std::getenv("GEOGRID_BENCH_POPS")) {
+    std::vector<std::size_t> pops;
+    const char* p = env;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) pops.push_back(static_cast<std::size_t>(v));
+      p = (*end == ',') ? end + 1 : end;
+    }
+    if (!pops.empty()) return pops;
+  }
+  std::vector<std::size_t> pops = {10'000, 30'000, 100'000};
+  if (const char* env = std::getenv("GEOGRID_BENCH_LARGE");
+      env != nullptr && env[0] != '0') {
+    pops.push_back(1'000'000);
+  }
+  return pops;
+}
+
 }  // namespace
 
 int main() {
-  std::vector<std::size_t> populations = {10'000, 30'000, 100'000};
-  if (const char* env = std::getenv("GEOGRID_BENCH_LARGE");
-      env != nullptr && env[0] != '0') {
-    populations.push_back(1'000'000);
-  }
+  const std::vector<std::size_t> populations = pick_populations();
 
   std::printf("Location updates: %zu-node engine grid, %.0f virtual seconds "
               "of motion per point\n",
               kNodes, kVirtualSeconds);
   auto csv = bench::csv_for("location_updates");
   if (csv) {
-    csv->header({"users", "updates", "updates_per_sec", "locate_ns",
+    csv->header({"users", "updates", "updates_per_sec", "updates_per_sec_k1",
+                 "updates_per_sec_sharded", "shards", "locate_ns",
                  "locate_hops_mean", "locate_hops_max", "handoffs"});
   }
 
   std::vector<RunResult> results;
-  std::printf("%9s %12s %14s %12s %12s %10s\n", "users", "updates",
-              "updates/sec", "locate ns", "locate hops", "handoffs");
+  std::printf("%9s %12s %13s %13s %16s %7s %11s %12s %9s\n", "users",
+              "updates", "serial/sec", "batched/sec", "sharded/sec", "shards",
+              "locate ns", "locate hops", "handoffs");
   for (const std::size_t users : populations) {
     const RunResult r = measure(users, 4242);
     results.push_back(r);
-    std::printf("%9zu %12llu %14.0f %12.1f %12.2f %10llu\n", r.users,
-                static_cast<unsigned long long>(r.updates), r.updates_per_sec,
-                r.locate_ns, r.locate_hops_mean,
+    std::printf("%9zu %12llu %13.0f %13.0f %16.0f %7zu %11.1f %12.2f %9llu\n",
+                r.users, static_cast<unsigned long long>(r.updates),
+                r.updates_per_sec, r.updates_per_sec_k1,
+                r.updates_per_sec_sharded, r.shards, r.locate_ns,
+                r.locate_hops_mean,
                 static_cast<unsigned long long>(r.handoffs));
     if (csv) {
-      csv->row(r.users, r.updates, r.updates_per_sec, r.locate_ns,
+      csv->row(r.users, r.updates, r.updates_per_sec, r.updates_per_sec_k1,
+               r.updates_per_sec_sharded, r.shards, r.locate_ns,
                r.locate_hops_mean, r.locate_hops_max, r.handoffs);
     }
   }
@@ -162,12 +268,15 @@ int main() {
       std::fprintf(
           f,
           "    {\"users\": %zu, \"updates\": %llu, "
-          "\"updates_per_sec\": %.0f, \"locate_ns\": %.1f, "
+          "\"updates_per_sec\": %.0f, \"updates_per_sec_k1\": %.0f, "
+          "\"updates_per_sec_sharded\": %.0f, \"shards\": %zu, "
+          "\"locate_ns\": %.1f, "
           "\"locate_hops_mean\": %.3f, \"locate_hops_max\": %.0f, "
           "\"handoffs\": %llu}%s\n",
           r.users, static_cast<unsigned long long>(r.updates),
-          r.updates_per_sec, r.locate_ns, r.locate_hops_mean,
-          r.locate_hops_max, static_cast<unsigned long long>(r.handoffs),
+          r.updates_per_sec, r.updates_per_sec_k1, r.updates_per_sec_sharded,
+          r.shards, r.locate_ns, r.locate_hops_mean, r.locate_hops_max,
+          static_cast<unsigned long long>(r.handoffs),
           i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI bench-smoke gate for the mobile-user ingestion hot path.
+
+Compares a fresh bench_location_updates JSON report against the committed
+baseline (BENCH_location_updates.json) at one population and fails when
+serial ingestion throughput regressed by more than the allowed fraction.
+CI runners are noisy, so the gate is deliberately loose (30%): it exists
+to catch order-of-magnitude regressions (an accidental O(n) partition
+walk per update, a lock on the hot path), not 5% jitter.
+
+Usage: check_bench_smoke.py <fresh.json> <baseline.json> [--users N]
+       [--max-drop FRAC]
+"""
+
+import argparse
+import json
+import sys
+
+
+def point_for(report, users):
+    for point in report["points"]:
+        if point["users"] == users:
+            return point
+    raise SystemExit(
+        f"no {users}-user point in report (have "
+        f"{[p['users'] for p in report['points']]})")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--users", type=int, default=10_000)
+    parser.add_argument("--max-drop", type=float, default=0.30)
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = point_for(json.load(f), args.users)
+    with open(args.baseline) as f:
+        base = point_for(json.load(f), args.users)
+
+    checks = ["updates_per_sec"]
+    # Older baselines predate the sharded engine; compare its keys only
+    # when both sides have them.
+    for key in ("updates_per_sec_k1", "updates_per_sec_sharded"):
+        if key in fresh and key in base:
+            checks.append(key)
+
+    failed = False
+    for key in checks:
+        got, want = fresh[key], base[key]
+        floor = want * (1.0 - args.max_drop)
+        verdict = "OK" if got >= floor else "REGRESSION"
+        print(f"{key:>24}: {got:>12,.0f} vs baseline {want:>12,.0f} "
+              f"(floor {floor:,.0f}) {verdict}")
+        failed |= got < floor
+
+    if failed:
+        print(f"FAIL: throughput at {args.users} users dropped more than "
+              f"{args.max_drop:.0%} below the committed baseline")
+        return 1
+    print("bench smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,200 @@
+// Flat open-addressing hash map for the hot paths.
+//
+// The mobile-user layer lives or dies on point lookups against maps with
+// hundreds of thousands of entries (user -> record index, user -> region,
+// cell -> bucket).  `std::unordered_map` pays a pointer chase into a
+// node allocation on every hit; at 1M users that is two or three cache
+// misses per operation and the ingest benchmark collapses on exactly that.
+// FlatMap keeps key/value slots in one contiguous power-of-two array with
+// linear probing, so a hit is typically a single cache line and a scan is
+// a prefetchable sweep.
+//
+// Deletion uses backward-shift (no tombstones), which keeps probe
+// sequences short under the ingest/evict churn of region handoffs.
+// Iteration order is a pure function of the insert/erase history — two
+// maps that saw the same operation sequence iterate identically, which is
+// what lets ShardedDirectory prove shard-count invariance byte-for-byte.
+//
+// The default hasher finalizes std::hash with a splitmix64 mix because
+// libstdc++ hashes integers to themselves; packed cell keys and region
+// ids need the high bits spread before masking to a power of two.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace geogrid::common {
+
+/// splitmix64 finalizer: spreads entropy across all 64 bits.
+constexpr std::uint64_t mix_hash(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Default FlatMap hasher: std::hash then a full-width mix.
+template <typename Key>
+struct MixHash {
+  std::size_t operator()(const Key& key) const noexcept {
+    return static_cast<std::size_t>(
+        mix_hash(static_cast<std::uint64_t>(std::hash<Key>{}(key))));
+  }
+};
+
+template <typename Key, typename Value, typename Hash = MixHash<Key>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+  explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    states_.assign(states_.size(), kEmpty);
+    slots_.clear();
+    slots_.resize(states_.size());
+    size_ = 0;
+  }
+
+  /// Grows the table so `expected` entries fit without rehashing.
+  void reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;
+    if (cap > capacity()) rehash(cap);
+  }
+
+  Value* find(const Key& key) noexcept {
+    const std::size_t i = find_slot(key);
+    return i == kNotFound ? nullptr : &slots_[i].value;
+  }
+  const Value* find(const Key& key) const noexcept {
+    const std::size_t i = find_slot(key);
+    return i == kNotFound ? nullptr : &slots_[i].value;
+  }
+  bool contains(const Key& key) const noexcept {
+    return find_slot(key) != kNotFound;
+  }
+
+  /// Inserts {key, Value(args...)} unless present.  Returns the value slot
+  /// and whether an insert happened.  Pointers are invalidated by any
+  /// mutation, like every other flat container here.
+  template <typename... Args>
+  std::pair<Value*, bool> try_emplace(const Key& key, Args&&... args) {
+    grow_if_needed();
+    std::size_t i = home(key);
+    while (states_[i] == kFull) {
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask();
+    }
+    states_[i] = kFull;
+    slots_[i].key = key;
+    slots_[i].value = Value(std::forward<Args>(args)...);
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  Value& operator[](const Key& key) { return *try_emplace(key).first; }
+
+  /// Removes `key` with backward-shift deletion.  Returns true on removal.
+  bool erase(const Key& key) {
+    std::size_t i = find_slot(key);
+    if (i == kNotFound) return false;
+    // Shift later slots of the probe chain back so no gap splits a chain.
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask();
+      if (states_[j] != kFull) break;
+      const std::size_t h = home(slots_[j].key);
+      // Slot j may move into the hole at i only if its home position does
+      // not lie strictly between i (exclusive) and j (inclusive) cyclically.
+      if (((j - h) & mask()) >= ((j - i) & mask())) {
+        slots_[i] = std::move(slots_[j]);
+        i = j;
+      }
+    }
+    states_[i] = kEmpty;
+    slots_[i] = Slot{};
+    --size_;
+    return true;
+  }
+
+  /// Visits every entry as fn(key, value).  Order is a deterministic
+  /// function of the operation history (see header comment).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (states_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (states_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+  };
+
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::size_t kMinCapacity = 16;
+  // Max load factor 7/8: linear probing stays short, memory stays tight.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t mask() const noexcept { return slots_.size() - 1; }
+  std::size_t home(const Key& key) const noexcept {
+    return Hash{}(key)&mask();
+  }
+
+  std::size_t find_slot(const Key& key) const noexcept {
+    if (size_ == 0) return kNotFound;
+    std::size_t i = home(key);
+    while (states_[i] == kFull) {
+      if (slots_[i].key == key) return i;
+      i = (i + 1) & mask();
+    }
+    return kNotFound;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(kMinCapacity);
+    } else if ((size_ + 1) * kMaxLoadDen > capacity() * kMaxLoadNum) {
+      rehash(capacity() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    assert((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    slots_.assign(new_capacity, Slot{});
+    states_.assign(new_capacity, kEmpty);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_states[i] != kFull) continue;
+      std::size_t j = home(old_slots[i].key);
+      while (states_[j] == kFull) j = (j + 1) & mask();
+      states_[j] = kFull;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> states_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace geogrid::common

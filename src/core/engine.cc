@@ -104,4 +104,12 @@ Summary GridSimulation::workload_summary() const {
   return metrics::workload_summary(partition_, load_fn());
 }
 
+std::unique_ptr<mobility::ShardedDirectory>
+GridSimulation::make_location_directory(double cell_size) const {
+  mobility::ShardedDirectory::Options opts;
+  opts.shards = options_.ingest_shards;
+  opts.cell_size = cell_size;
+  return std::make_unique<mobility::ShardedDirectory>(partition_, opts);
+}
+
 }  // namespace geogrid::core

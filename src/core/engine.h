@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "core/options.h"
 #include "loadbalance/driver.h"
+#include "mobility/sharded_directory.h"
 #include "overlay/partition.h"
 #include "overlay/snapshot.h"
 #include "workload/hotspot.h"
@@ -51,6 +52,12 @@ class GridSimulation {
 
   /// Moves every hot spot `steps` epochs.
   void migrate_hotspots(std::size_t steps = 1);
+
+  /// The engine-mode mobile-user ingestion engine over this simulation's
+  /// partition, sharded per options().ingest_shards.  Callers own the
+  /// returned directory; it must not outlive the simulation.
+  std::unique_ptr<mobility::ShardedDirectory> make_location_directory(
+      double cell_size = 1.0) const;
 
   /// Max/mean/stddev of the per-node workload index (the figures' metric).
   Summary workload_summary() const;

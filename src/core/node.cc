@@ -741,7 +741,7 @@ void GeoGridNode::handle_locate_request(const net::LocateRequest& m,
   // The hint may be slightly stale; any seat we hold can answer (the
   // secondary's replica serves reads after a fail-over too).
   for (auto& [rid, region] : owned_) {
-    if (const mobility::LocationRecord* rec = region.users.locate(m.user)) {
+    if (const auto rec = region.users.locate(m.user)) {
       reply.found = true;
       reply.location = rec->position;
       reply.seq = rec->seq;

@@ -33,6 +33,10 @@ struct SimulationOptions {
       workload::CapacityDistribution::gnutella();
   loadbalance::PlannerConfig planner{};
   std::uint64_t seed = 1;
+  /// Shard/worker count of the engine-mode ingestion directory built by
+  /// GridSimulation::make_location_directory.  0 = hardware threads,
+  /// 1 = serial.  Results are shard-count independent by contract.
+  std::size_t ingest_shards = 0;
 };
 
 }  // namespace geogrid::core

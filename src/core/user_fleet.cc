@@ -22,10 +22,27 @@ void UserFleet::tick(double dt) {
   const double now = cluster_.loop().now();
   population_.step(dt, now);
   auto& users = population_.users();
+  auto& nodes = cluster_.nodes();
+  // Snapshot liveness once per tick instead of probing departed()/joined()
+  // per user: membership cannot change while this loop runs (updates are
+  // queued here and only drained by the next Cluster::run_for slice), so
+  // every user resolves to exactly the proxy proxy_of(i) would return.
+  alive_.assign(nodes.size(), 0);
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    alive_[n] = !nodes[n]->departed() && nodes[n]->joined() ? 1 : 0;
+  }
   for (std::size_t i = 0; i < users.size(); ++i) {
+    std::size_t chosen = i % nodes.size();
+    for (std::size_t probe = 0; probe < nodes.size(); ++probe) {
+      const std::size_t n = (i + probe) % nodes.size();
+      if (alive_[n]) {
+        chosen = n;
+        break;
+      }
+    }
     mobility::MobileUser& user = users[i];
-    proxy_of(i).submit_location_update(user.id, user.position,
-                                       user.next_seq, last_reported_[i]);
+    nodes[chosen]->submit_location_update(user.id, user.position,
+                                          user.next_seq, last_reported_[i]);
     last_reported_[i] = user.position;
     user.next_seq += 1;
   }

@@ -47,6 +47,7 @@ class UserFleet {
   Cluster& cluster_;
   mobility::UserPopulation population_;
   std::vector<std::optional<Point>> last_reported_;
+  std::vector<unsigned char> alive_;  ///< per-tick liveness snapshot
 };
 
 }  // namespace geogrid::core

@@ -8,10 +8,7 @@ LocationDirectory::ApplyResult LocationDirectory::apply_update(
     const LocationRecord& record) {
   ApplyResult result;
   RegionId prev = kInvalidRegion;
-  if (const auto it = user_region_.find(record.user);
-      it != user_region_.end()) {
-    prev = it->second;
-  }
+  if (const RegionId* it = user_region_.find(record.user)) prev = *it;
   const RegionId hint = partition_.has_region(prev) ? prev : kInvalidRegion;
   result.region = partition_.locate(record.position, hint);
   if (result.region == kInvalidRegion) return result;  // empty partition
@@ -20,8 +17,8 @@ LocationDirectory::ApplyResult LocationDirectory::apply_update(
     // Boundary crossing: a newer report already in the old store (possible
     // only if the caller reordered its own reports) keeps authority.
     auto& old_store = stores_[prev];
-    if (const LocationRecord* old = old_store.locate(record.user);
-        old != nullptr && old->seq >= record.seq) {
+    if (const auto old_seq = old_store.seq_of(record.user);
+        old_seq && *old_seq >= record.seq) {
       ++counters_.updates_stale;
       return result;
     }
@@ -30,9 +27,10 @@ LocationDirectory::ApplyResult LocationDirectory::apply_update(
     ++counters_.handoffs;
   }
 
-  auto [it, inserted] =
+  auto [store, inserted] =
       stores_.try_emplace(result.region, LocationStore(cell_size_));
-  result.applied = it->second.ingest(record);
+  (void)inserted;
+  result.applied = store->ingest(record);
   if (result.applied) {
     user_region_[record.user] = result.region;
     ++counters_.updates_applied;
@@ -42,28 +40,26 @@ LocationDirectory::ApplyResult LocationDirectory::apply_update(
   return result;
 }
 
-const LocationRecord* LocationDirectory::locate(UserId user) {
-  const auto it = user_region_.find(user);
-  if (it != user_region_.end()) {
-    if (const auto sit = stores_.find(it->second); sit != stores_.end()) {
-      if (const LocationRecord* rec = sit->second.locate(user)) {
+std::optional<LocationRecord> LocationDirectory::locate(UserId user) {
+  if (const RegionId* region = user_region_.find(user)) {
+    if (const LocationStore* store = stores_.find(*region)) {
+      if (auto rec = store->locate(user)) {
         ++counters_.locate_hits;
         return rec;
       }
     }
   }
   ++counters_.locate_misses;
-  return nullptr;
+  return std::nullopt;
 }
 
 RegionId LocationDirectory::region_of(UserId user) const {
-  const auto it = user_region_.find(user);
-  return it == user_region_.end() ? kInvalidRegion : it->second;
+  const RegionId* region = user_region_.find(user);
+  return region == nullptr ? kInvalidRegion : *region;
 }
 
 const LocationStore* LocationDirectory::store(RegionId region) const {
-  const auto it = stores_.find(region);
-  return it == stores_.end() ? nullptr : &it->second;
+  return stores_.find(region);
 }
 
 std::vector<LocationRecord> LocationDirectory::range(const Rect& rect) const {
@@ -72,9 +68,9 @@ std::vector<LocationRecord> LocationDirectory::range(const Rect& rect) const {
     if (!region.rect.intersects(rect) && !region.rect.edge_adjacent(rect)) {
       continue;
     }
-    const auto it = stores_.find(id);
-    if (it == stores_.end()) continue;
-    auto part = it->second.range(rect);
+    const LocationStore* store = stores_.find(id);
+    if (store == nullptr) continue;
+    auto part = store->range(rect);
     out.insert(out.end(), part.begin(), part.end());
   }
   return out;
@@ -88,10 +84,10 @@ std::vector<LocationRecord> LocationDirectory::k_nearest(
   // next region's floor distance exceeds the kth-best hit, stop.
   std::vector<std::pair<double, RegionId>> order;
   order.reserve(stores_.size());
-  for (const auto& [id, store] : stores_) {
-    if (store.empty() || !partition_.has_region(id)) continue;
+  stores_.for_each([&](RegionId id, const LocationStore& store) {
+    if (store.empty() || !partition_.has_region(id)) return;
     order.emplace_back(partition_.region(id).rect.distance_to(p), id);
-  }
+  });
   std::sort(order.begin(), order.end());
   const auto better = [&p](const LocationRecord& a, const LocationRecord& b) {
     const double da = distance(a.position, p);
@@ -103,7 +99,7 @@ std::vector<LocationRecord> LocationDirectory::k_nearest(
     if (best.size() >= k && floor_dist > distance(best.back().position, p)) {
       break;
     }
-    for (const LocationRecord& rec : stores_.at(id).k_nearest(p, k)) {
+    for (const LocationRecord& rec : stores_.find(id)->k_nearest(p, k)) {
       const auto pos = std::lower_bound(best.begin(), best.end(), rec, better);
       best.insert(pos, rec);
       if (best.size() > k) best.pop_back();

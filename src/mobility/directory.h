@@ -7,14 +7,20 @@
 // `apply_update` is a partition locate (O(1) with the per-user region hint,
 // since a user rarely leaves its region between reports) followed by an
 // O(1) ingest, and `locate(user)` never touches the partition at all.
-// Region-boundary crossings are detected here and counted as handoffs —
-// the engine-mode mirror of the UserHandoff protocol message.
+// Both maps are flat open-addressing tables (common::FlatMap): the
+// user -> region map is the single hottest structure of the ingest path and
+// a node-based map's pointer chase per update is what used to collapse
+// throughput at 1M users.  Region-boundary crossings are detected here and
+// counted as handoffs — the engine-mode mirror of the UserHandoff protocol
+// message.  For the batched, multi-threaded version of this fast path see
+// mobility::ShardedDirectory.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/geometry.h"
 #include "common/ids.h"
 #include "mobility/location_store.h"
@@ -48,7 +54,7 @@ class LocationDirectory {
   ApplyResult apply_update(const LocationRecord& record);
 
   /// Point lookup via the user -> region map (counts hit/miss).
-  const LocationRecord* locate(UserId user);
+  std::optional<LocationRecord> locate(UserId user);
 
   /// The region currently holding `user`, or kInvalidRegion.
   RegionId region_of(UserId user) const;
@@ -70,8 +76,8 @@ class LocationDirectory {
  private:
   const overlay::Partition& partition_;
   double cell_size_;
-  std::unordered_map<RegionId, LocationStore> stores_;
-  std::unordered_map<UserId, RegionId> user_region_;
+  common::FlatMap<RegionId, LocationStore> stores_;
+  common::FlatMap<UserId, RegionId> user_region_;
   Counters counters_;
 };
 

@@ -13,55 +13,120 @@ std::uint64_t LocationStore::cell_key_of(const Point& p) const noexcept {
   return pack(cell_coord(p.x), cell_coord(p.y));
 }
 
-void LocationStore::cell_remove(std::uint64_t key, UserId user) {
-  auto it = cells_.find(key);
-  if (it == cells_.end()) return;
-  auto& bucket = it->second;
-  const auto pos = std::find(bucket.begin(), bucket.end(), user);
-  if (pos != bucket.end()) {
-    *pos = bucket.back();
-    bucket.pop_back();
+void LocationStore::cell_insert(std::uint64_t key, std::uint32_t slot) {
+  auto [bucket, inserted] = cells_.try_emplace(key);
+  // First resident of a cell: reserve a few slots up front so the common
+  // several-users-per-cell case never reallocates mid-ingest.
+  if (inserted) bucket->reserve(8);
+  bucket->push_back(slot);
+}
+
+void LocationStore::cell_remove(std::uint64_t key, std::uint32_t slot) {
+  auto* bucket = cells_.find(key);
+  if (bucket == nullptr) return;
+  const auto pos = std::find(bucket->begin(), bucket->end(), slot);
+  if (pos != bucket->end()) {
+    // Swap-and-pop: bucket order is irrelevant — range() filters by the
+    // cover test and k_nearest() re-sorts candidates by distance, so no
+    // caller observes in-bucket ordering.
+    *pos = bucket->back();
+    bucket->pop_back();
   }
-  if (bucket.empty()) cells_.erase(it);
+  if (bucket->empty()) cells_.erase(key);
+}
+
+void LocationStore::cell_replace(std::uint64_t key, std::uint32_t old_slot,
+                                 std::uint32_t new_slot) {
+  auto* bucket = cells_.find(key);
+  if (bucket == nullptr) return;
+  const auto pos = std::find(bucket->begin(), bucket->end(), old_slot);
+  if (pos != bucket->end()) *pos = new_slot;
 }
 
 bool LocationStore::ingest(const LocationRecord& record) {
-  auto [it, inserted] = by_user_.try_emplace(record.user, record);
+  auto [slot_ptr, inserted] =
+      index_.try_emplace(record.user, static_cast<std::uint32_t>(0));
   if (!inserted) {
-    if (it->second.seq >= record.seq) return false;  // stale or replay
-    const std::uint64_t old_key = cell_key_of(it->second.position);
+    const std::uint32_t slot = *slot_ptr;
+    if (seqs_[slot] >= record.seq) return false;  // stale or replay
     const std::uint64_t new_key = cell_key_of(record.position);
-    it->second = record;
-    if (old_key == new_key) return true;
-    cell_remove(old_key, record.user);
+    positions_[slot] = record.position;
+    seqs_[slot] = record.seq;
+    timestamps_[slot] = record.timestamp;
+    if (cell_keys_[slot] != new_key) {
+      cell_remove(cell_keys_[slot], slot);
+      cell_insert(new_key, slot);
+      cell_keys_[slot] = new_key;
+    }
+    return true;
   }
-  cells_[cell_key_of(record.position)].push_back(record.user);
+  const auto slot = static_cast<std::uint32_t>(users_.size());
+  *slot_ptr = slot;
+  const std::uint64_t key = cell_key_of(record.position);
+  users_.push_back(record.user);
+  positions_.push_back(record.position);
+  seqs_.push_back(record.seq);
+  timestamps_.push_back(record.timestamp);
+  cell_keys_.push_back(key);
+  cell_insert(key, slot);
   return true;
 }
 
-const LocationRecord* LocationStore::locate(UserId user) const {
-  const auto it = by_user_.find(user);
-  return it == by_user_.end() ? nullptr : &it->second;
+std::optional<LocationRecord> LocationStore::locate(UserId user) const {
+  const auto* slot = index_.find(user);
+  if (slot == nullptr) return std::nullopt;
+  return record_at(*slot);
+}
+
+std::optional<std::uint64_t> LocationStore::seq_of(UserId user) const {
+  const auto* slot = index_.find(user);
+  if (slot == nullptr) return std::nullopt;
+  return seqs_[*slot];
+}
+
+void LocationStore::remove_slot(std::uint32_t slot) {
+  cell_remove(cell_keys_[slot], slot);
+  index_.erase(users_[slot]);
+  const auto last = static_cast<std::uint32_t>(users_.size() - 1);
+  if (slot != last) {
+    // Dense columns stay dense: the last record moves into the hole, and
+    // both its index entry and its cell-bucket slot are repointed.
+    users_[slot] = users_[last];
+    positions_[slot] = positions_[last];
+    seqs_[slot] = seqs_[last];
+    timestamps_[slot] = timestamps_[last];
+    cell_keys_[slot] = cell_keys_[last];
+    *index_.find(users_[slot]) = slot;
+    cell_replace(cell_keys_[slot], last, slot);
+  }
+  users_.pop_back();
+  positions_.pop_back();
+  seqs_.pop_back();
+  timestamps_.pop_back();
+  cell_keys_.pop_back();
 }
 
 bool LocationStore::erase(UserId user) {
-  const auto it = by_user_.find(user);
-  if (it == by_user_.end()) return false;
-  cell_remove(cell_key_of(it->second.position), user);
-  by_user_.erase(it);
+  const auto* slot = index_.find(user);
+  if (slot == nullptr) return false;
+  remove_slot(*slot);
   return true;
 }
 
 bool LocationStore::erase_if_stale(UserId user, std::uint64_t max_seq) {
-  const auto it = by_user_.find(user);
-  if (it == by_user_.end() || it->second.seq > max_seq) return false;
-  cell_remove(cell_key_of(it->second.position), user);
-  by_user_.erase(it);
+  const auto* slot = index_.find(user);
+  if (slot == nullptr || seqs_[*slot] > max_seq) return false;
+  remove_slot(*slot);
   return true;
 }
 
 void LocationStore::clear() {
-  by_user_.clear();
+  users_.clear();
+  positions_.clear();
+  seqs_.clear();
+  timestamps_.clear();
+  cell_keys_.clear();
+  index_.clear();
   cells_.clear();
 }
 
@@ -73,13 +138,12 @@ std::vector<LocationRecord> LocationStore::range(const Rect& rect) const {
   const std::int32_t cy1 = cell_coord(rect.top());
   for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
     for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
-      const auto it = cells_.find(pack(cx, cy));
-      if (it == cells_.end()) continue;
-      for (const UserId user : it->second) {
-        const LocationRecord& rec = by_user_.at(user);
-        if (rect.covers(rec.position) ||
-            rect.covers_inclusive(rec.position)) {
-          out.push_back(rec);
+      const auto* bucket = cells_.find(pack(cx, cy));
+      if (bucket == nullptr) continue;
+      for (const std::uint32_t slot : *bucket) {
+        const Point& pos = positions_[slot];
+        if (rect.covers(pos) || rect.covers_inclusive(pos)) {
+          out.push_back(record_at(slot));
         }
       }
     }
@@ -90,7 +154,7 @@ std::vector<LocationRecord> LocationStore::range(const Rect& rect) const {
 std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
                                                      std::size_t k) const {
   std::vector<LocationRecord> best;
-  if (k == 0 || by_user_.empty()) return best;
+  if (k == 0 || users_.empty()) return best;
   const auto better = [&p](const LocationRecord& a, const LocationRecord& b) {
     const double da = distance(a.position, p);
     const double db = distance(b.position, p);
@@ -104,11 +168,11 @@ std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
   const std::int32_t pcy = cell_coord(p.y);
   // Worst-case ring radius: enough to sweep every materialized cell.
   std::int32_t max_ring = 0;
-  for (const auto& [key, bucket] : cells_) {
+  cells_.for_each([&](std::uint64_t key, const std::vector<std::uint32_t>&) {
     const auto cx = static_cast<std::int32_t>(key >> 32);
     const auto cy = static_cast<std::int32_t>(key & 0xffffffffu);
     max_ring = std::max({max_ring, std::abs(cx - pcx), std::abs(cy - pcy)});
-  }
+  });
   for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
     if (best.size() >= k) {
       // Cells in this ring are at least (ring - 1) * cell_size away.
@@ -120,10 +184,10 @@ std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
         if (std::max(std::abs(cx - pcx), std::abs(cy - pcy)) != ring) {
           continue;  // interior cells were visited by smaller rings
         }
-        const auto it = cells_.find(pack(cx, cy));
-        if (it == cells_.end()) continue;
-        for (const UserId user : it->second) {
-          const LocationRecord& rec = by_user_.at(user);
+        const auto* bucket = cells_.find(pack(cx, cy));
+        if (bucket == nullptr) continue;
+        for (const std::uint32_t slot : *bucket) {
+          const LocationRecord rec = record_at(slot);
           const auto pos =
               std::lower_bound(best.begin(), best.end(), rec, better);
           best.insert(pos, rec);
@@ -137,8 +201,16 @@ std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
 
 void LocationStore::encode(net::Writer& w) const {
   w.f64(cell_size_);
-  w.varint(by_user_.size());
-  for (const auto& [user, rec] : by_user_) rec.encode(w);
+  w.varint(users_.size());
+  // Canonical order: sorted by user id, not by slot.  Slot order depends
+  // on ingestion history; the wire bytes must not.
+  std::vector<std::uint32_t> slots(users_.size());
+  for (std::uint32_t i = 0; i < slots.size(); ++i) slots[i] = i;
+  std::sort(slots.begin(), slots.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return users_[a] < users_[b];
+            });
+  for (const std::uint32_t slot : slots) record_at(slot).encode(w);
 }
 
 LocationStore LocationStore::decode(net::Reader& r) {

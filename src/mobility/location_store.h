@@ -4,25 +4,35 @@
 // report of every user currently inside its region.  The store is the hot
 // data structure of the mobile-user layer: the paper's workload is dominated
 // by location updates from moving users, so ingest must be O(1) and spatial
-// queries must not scan the whole population.  Records are indexed twice:
-// a hash map by user (point lookup, the `locate(user)` primitive) and a
-// sparse uniform grid of square cells (range scan and k-nearest).  The grid
-// is sparse — cells materialize only where users are — so one store works
-// unchanged whether its region is the whole plane or a post-split sliver,
-// and region splits/merges never force a re-grid.
+// queries must not scan the whole population.
+//
+// Records live in a structure-of-arrays layout: dense parallel columns for
+// user id, position, sequence and timestamp, indexed by a flat
+// open-addressing map (common::FlatMap) from user to record slot.  Ingest
+// touches exactly the columns it writes, range scans sweep the position
+// column without dragging timestamps through the cache, and nothing pointer-
+// chases through node allocations — this is what keeps updates/sec flat as
+// the population grows into the millions.  The spatial side is a sparse
+// uniform grid of square cells (flat map from packed cell coordinates to a
+// bucket of record slots); cells materialize only where users are, so one
+// store works unchanged whether its region is the whole plane or a
+// post-split sliver, and region splits/merges never force a re-grid.
 //
 // Per-user sequence numbers make ingestion idempotent and reorder-safe: a
 // report older than the stored one is rejected, so replicated stores
 // converge no matter how updates and handoffs interleave on the wire.
 // The store serializes through the net codec so a primary can replicate it
-// to its secondary over the existing dual-peer SyncState path.
+// to its secondary over the existing dual-peer SyncState path.  Encoding is
+// canonical (records sorted by user id): two stores holding the same
+// records produce identical bytes regardless of the order they ingested
+// them in, which is what the sharded engine's K-invariance test leans on.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/geometry.h"
 #include "common/ids.h"
 #include "net/codec.h"
@@ -68,7 +78,11 @@ class LocationStore {
   bool ingest(const LocationRecord& record);
 
   /// Point lookup: the stored record for `user`, if present.
-  const LocationRecord* locate(UserId user) const;
+  std::optional<LocationRecord> locate(UserId user) const;
+
+  /// The stored sequence number for `user`, if present (cheaper than
+  /// locate when only the seq guard matters).
+  std::optional<std::uint64_t> seq_of(UserId user) const;
 
   /// Removes `user` outright.  Returns true when a record was removed.
   bool erase(UserId user);
@@ -85,13 +99,15 @@ class LocationStore {
   /// ordered by ascending distance; ties break on user id.
   std::vector<LocationRecord> k_nearest(const Point& p, std::size_t k) const;
 
-  std::size_t size() const noexcept { return by_user_.size(); }
-  bool empty() const noexcept { return by_user_.empty(); }
+  std::size_t size() const noexcept { return users_.size(); }
+  bool empty() const noexcept { return users_.empty(); }
   void clear();
 
   double cell_size() const noexcept { return cell_size_; }
 
-  /// Serialization for primary -> secondary replication.
+  /// Serialization for primary -> secondary replication.  Canonical:
+  /// records are emitted sorted by user id, so equal contents mean equal
+  /// bytes no matter the ingestion history.
   void encode(net::Writer& w) const;
   static LocationStore decode(net::Reader& r);
 
@@ -103,11 +119,29 @@ class LocationStore {
            static_cast<std::uint32_t>(cy);
   }
   std::int32_t cell_coord(double v) const noexcept;
-  void cell_remove(std::uint64_t key, UserId user);
+
+  void cell_insert(std::uint64_t key, std::uint32_t slot);
+  void cell_remove(std::uint64_t key, std::uint32_t slot);
+  void cell_replace(std::uint64_t key, std::uint32_t old_slot,
+                    std::uint32_t new_slot);
+  LocationRecord record_at(std::uint32_t slot) const {
+    return LocationRecord{users_[slot], positions_[slot], seqs_[slot],
+                          timestamps_[slot]};
+  }
+  void remove_slot(std::uint32_t slot);
 
   double cell_size_;
-  std::unordered_map<UserId, LocationRecord> by_user_;
-  std::unordered_map<std::uint64_t, std::vector<UserId>> cells_;
+  // Structure-of-arrays record columns; `index_` maps user -> slot.
+  // `cell_keys_` caches each slot's packed cell so the in-place update
+  // path (the overwhelmingly common ingest) never recomputes the old
+  // cell's floor divisions.
+  std::vector<UserId> users_;
+  std::vector<Point> positions_;
+  std::vector<std::uint64_t> seqs_;
+  std::vector<double> timestamps_;
+  std::vector<std::uint64_t> cell_keys_;
+  common::FlatMap<UserId, std::uint32_t> index_;
+  common::FlatMap<std::uint64_t, std::vector<std::uint32_t>> cells_;
 };
 
 }  // namespace geogrid::mobility

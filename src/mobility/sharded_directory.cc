@@ -1,0 +1,290 @@
+#include "mobility/sharded_directory.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace geogrid::mobility {
+
+ShardedDirectory::ShardedDirectory(const overlay::Partition& partition)
+    : ShardedDirectory(partition, Options{}) {}
+
+ShardedDirectory::ShardedDirectory(const overlay::Partition& partition,
+                                   Options options)
+    : partition_(partition), cell_size_(options.cell_size) {
+  std::size_t shards = options.shards;
+  if (shards == 0) {
+    shards = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  shards_.resize(shards);
+  workers_.reserve(shards - 1);
+  for (std::size_t w = 0; w + 1 < shards; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ShardedDirectory::~ShardedDirectory() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ShardedDirectory::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    // Worker w always takes task w+1; the dispatching thread takes task 0.
+    (*job)(worker_index + 1);
+    {
+      std::lock_guard lock(mutex_);
+      ++done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardedDirectory::run_parallel(
+    const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    done_ = 0;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return done_ == workers_.size(); });
+}
+
+void ShardedDirectory::refresh_region_rects() {
+  if (partition_.geometry_version() == cached_geometry_version_) return;
+  region_rects_.clear();
+  region_rects_.reserve(partition_.region_count());
+  for (const auto& [id, region] : partition_.regions()) {
+    region_rects_[id] = region.rect;
+  }
+  cached_geometry_version_ = partition_.geometry_version();
+}
+
+RegionId ShardedDirectory::resolve_target(const UserState* state,
+                                          const Point& position,
+                                          bool* fast) const {
+  if (state != nullptr) {
+    if (const Rect* rect = region_rects_.find(state->region)) {
+      if (rect->covers(position) || rect->covers_inclusive(position)) {
+        // Same answer partition_.locate(position, state->region) would
+        // give — route_greedy stops immediately when the start region
+        // covers the target — minus the partition's hash-map traffic.
+        *fast = true;
+        return state->region;
+      }
+      return partition_.locate(position, state->region);
+    }
+    // Region retired since the last applied report: cold locate.
+  }
+  return partition_.locate(position);
+}
+
+void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
+  if (batch.empty()) return;
+  refresh_region_rects();
+  ++counters_.batches;
+
+  // Phase A: resolve target regions in parallel against the frozen memo.
+  // resolve_target is a pure read of user_state_/region_rects_/partition_,
+  // so chunking cannot change any record's answer.  The memo-entry pointer
+  // found here is reused by phase B (one hash probe per record, not two);
+  // reserving the memo for the batch's new users keeps it valid across
+  // the phase-B inserts.
+  targets_.resize(batch.size());
+  states_.resize(batch.size());
+  const std::size_t chunks = shards_.size();
+  std::uint64_t fast_hits = 0;
+  std::uint64_t new_users = 0;
+  if (chunks == 1) {
+    bool fast = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      fast = false;
+      states_[i] = user_state_.find(batch[i].user);
+      targets_[i] = resolve_target(states_[i], batch[i].position, &fast);
+      fast_hits += fast ? 1 : 0;
+      new_users += states_[i] == nullptr ? 1 : 0;
+    }
+  } else {
+    std::vector<std::uint64_t> chunk_fast(chunks, 0);
+    std::vector<std::uint64_t> chunk_new(chunks, 0);
+    run_parallel([&](std::size_t c) {
+      const std::size_t lo = batch.size() * c / chunks;
+      const std::size_t hi = batch.size() * (c + 1) / chunks;
+      bool fast = false;
+      for (std::size_t i = lo; i < hi; ++i) {
+        fast = false;
+        states_[i] = user_state_.find(batch[i].user);
+        targets_[i] = resolve_target(states_[i], batch[i].position, &fast);
+        chunk_fast[c] += fast ? 1 : 0;
+        chunk_new[c] += states_[i] == nullptr ? 1 : 0;
+      }
+    });
+    for (const std::uint64_t f : chunk_fast) fast_hits += f;
+    for (const std::uint64_t n : chunk_new) new_users += n;
+  }
+  counters_.locate_fast_path += fast_hits;
+  if (new_users > 0) user_state_.reserve(user_state_.size() + new_users);
+
+  // Phase B: serial dispatch — seq guard, handoff evictions, shard queues.
+  for (auto& shard : shards_) shard.queue.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const LocationRecord& rec = batch[i];
+    const RegionId target = targets_[i];
+    if (target == kInvalidRegion) continue;  // empty partition
+    UserState* state = states_[i];
+    bool inserted = false;
+    if (state == nullptr) {
+      // New to phase A — but an earlier record of this batch may have
+      // inserted the user already, so try_emplace, not blind insert.
+      std::tie(state, inserted) = user_state_.try_emplace(rec.user);
+    }
+    if (!inserted && rec.seq <= state->seq) {
+      ++counters_.updates_stale;
+      continue;
+    }
+    if (!inserted && state->region != target) {
+      ++counters_.handoffs;
+      const std::size_t from = shard_of(state->region);
+      if (from != shard_of(target)) ++counters_.cross_shard_handoffs;
+      // Eviction message: user + max_seq (the seq of the record being
+      // displaced).  Queued before the ingest so a same-shard handoff
+      // drains in the right order.
+      shards_[from].queue.push_back(ShardOp{
+          LocationRecord{rec.user, Point{}, state->seq, 0.0}, state->region,
+          /*evict=*/true});
+    }
+    shards_[shard_of(target)].queue.push_back(
+        ShardOp{rec, target, /*evict=*/false});
+    state->region = target;
+    state->seq = rec.seq;
+    ++counters_.updates_applied;
+  }
+
+  // Phase C: drain every shard queue in dispatch order, one worker each.
+  run_parallel([this](std::size_t s) {
+    Shard& shard = shards_[s];
+    for (const ShardOp& op : shard.queue) {
+      if (op.evict) {
+        if (LocationStore* store = shard.stores.find(op.region)) {
+          store->erase_if_stale(op.rec.user, op.rec.seq);
+        }
+      } else {
+        auto [store, created] =
+            shard.stores.try_emplace(op.region, LocationStore(cell_size_));
+        (void)created;
+        store->ingest(op.rec);
+      }
+    }
+  });
+}
+
+ShardedDirectory::ApplyResult ShardedDirectory::apply_update(
+    const LocationRecord& record) {
+  const Counters before = counters_;
+  apply_updates(std::span<const LocationRecord>(&record, 1));
+  ApplyResult result;
+  result.applied = counters_.updates_applied > before.updates_applied;
+  result.handoff = counters_.handoffs > before.handoffs;
+  result.region = region_of(record.user);
+  return result;
+}
+
+std::optional<LocationRecord> ShardedDirectory::locate(UserId user) const {
+  const UserState* state = user_state_.find(user);
+  if (state == nullptr) return std::nullopt;
+  const Shard& shard = shards_[shard_of(state->region)];
+  const LocationStore* store = shard.stores.find(state->region);
+  return store == nullptr ? std::nullopt : store->locate(user);
+}
+
+RegionId ShardedDirectory::region_of(UserId user) const {
+  const UserState* state = user_state_.find(user);
+  return state == nullptr ? kInvalidRegion : state->region;
+}
+
+const LocationStore* ShardedDirectory::store(RegionId region) const {
+  return shards_[shard_of(region)].stores.find(region);
+}
+
+std::vector<LocationRecord> ShardedDirectory::range(const Rect& rect) const {
+  std::vector<LocationRecord> out;
+  for (const auto& [id, region] : partition_.regions()) {
+    if (!region.rect.intersects(rect) && !region.rect.edge_adjacent(rect)) {
+      continue;
+    }
+    const LocationStore* st = store(id);
+    if (st == nullptr) continue;
+    auto part = st->range(rect);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<LocationRecord> ShardedDirectory::k_nearest(const Point& p,
+                                                        std::size_t k) const {
+  std::vector<LocationRecord> best;
+  if (k == 0) return best;
+  std::vector<std::pair<double, RegionId>> order;
+  for (const Shard& shard : shards_) {
+    shard.stores.for_each([&](RegionId id, const LocationStore& st) {
+      if (st.empty() || !partition_.has_region(id)) return;
+      order.emplace_back(partition_.region(id).rect.distance_to(p), id);
+    });
+  }
+  std::sort(order.begin(), order.end());
+  const auto better = [&p](const LocationRecord& a, const LocationRecord& b) {
+    const double da = distance(a.position, p);
+    const double db = distance(b.position, p);
+    if (da != db) return da < db;
+    return a.user < b.user;
+  };
+  for (const auto& [floor_dist, id] : order) {
+    if (best.size() >= k && floor_dist > distance(best.back().position, p)) {
+      break;
+    }
+    for (const LocationRecord& rec : store(id)->k_nearest(p, k)) {
+      const auto pos = std::lower_bound(best.begin(), best.end(), rec, better);
+      best.insert(pos, rec);
+      if (best.size() > k) best.pop_back();
+    }
+  }
+  return best;
+}
+
+void ShardedDirectory::serialize(net::Writer& w) const {
+  std::vector<std::pair<RegionId, const LocationStore*>> stores;
+  for (const Shard& shard : shards_) {
+    shard.stores.for_each([&](RegionId id, const LocationStore& st) {
+      stores.emplace_back(id, &st);
+    });
+  }
+  std::sort(stores.begin(), stores.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.varint(stores.size());
+  for (const auto& [id, st] : stores) {
+    w.region_id(id);
+    st->encode(w);
+  }
+}
+
+}  // namespace geogrid::mobility

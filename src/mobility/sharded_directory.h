@@ -1,0 +1,192 @@
+// Sharded, batched, parallel ingestion engine for the mobile-user layer.
+//
+// The paper's workload is dominated by location updates, and spatial
+// partitioning makes region state independent: a record lives in exactly
+// the region covering its position, so two updates landing in different
+// regions never touch the same store.  ShardedDirectory exploits that by
+// assigning every region to one of K shards (stable hash of the region id,
+// so the assignment survives partition changes); each shard owns its
+// regions' LocationStores, and a batch of updates is drained by K workers
+// with zero locking on the hot structures.  The user -> region map lives
+// with the dispatcher (the per-user memo below), which is the single
+// authority on which region currently holds a user.
+//
+// A batch runs in three phases:
+//
+//   A. locate (parallel) — each record's target region is resolved against
+//      a frozen per-user {region, seq} memo: when the cached region's rect
+//      still covers the new position (the overwhelmingly common case — a
+//      user rarely leaves its region between reports) the partition walk is
+//      skipped entirely.  Rects are memoized per region and invalidated by
+//      Partition::geometry_version(), so splits/merges are observed at the
+//      next batch.  Resolution is a pure function of the frozen state, so
+//      the result is independent of how records are chunked over threads.
+//   B. dispatch (serial) — the seq guard filters stale/replayed records
+//      against the per-user memo, boundary crossings enqueue a small
+//      eviction message to the shard owning the user's previous region,
+//      and the surviving record is appended to its target shard's queue.
+//      This is the only serial stage and does O(1) flat-map work per
+//      record.
+//   C. drain (parallel) — each worker drains exactly one shard's queue in
+//      dispatch order.  Evictions use erase_if_stale, so the seq-guard
+//      idempotence invariant holds even if an eviction is replayed.
+//
+// Determinism contract: each region's store receives the same operation
+// sequence in the same order for every shard count and every thread
+// interleaving — ops for one region always live in one queue, queues
+// preserve dispatch order, and the batch barrier between B and C means no
+// worker races the dispatcher.  serialize() writes stores sorted by region
+// id with canonically-ordered records, so ShardedDirectory(K=1) and (K=8)
+// produce byte-identical snapshots from the same update trace; a tier-1
+// test pins exactly that.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "mobility/location_store.h"
+#include "net/codec.h"
+#include "overlay/partition.h"
+
+namespace geogrid::mobility {
+
+class ShardedDirectory {
+ public:
+  struct Options {
+    /// Shard/worker count.  0 = hardware threads; 1 = fully serial (no
+    /// worker threads are spawned, matching the single-threaded engine).
+    std::size_t shards = 0;
+    double cell_size = 1.0;
+  };
+
+  struct Counters {
+    std::uint64_t updates_applied = 0;
+    std::uint64_t updates_stale = 0;  ///< rejected by the seq guard
+    std::uint64_t handoffs = 0;       ///< updates that crossed a region edge
+    std::uint64_t cross_shard_handoffs = 0;  ///< handoffs that crossed shards
+    std::uint64_t batches = 0;
+    std::uint64_t locate_fast_path = 0;  ///< rect-memo hits (no partition walk)
+  };
+
+  /// What one apply_update did (single-record convenience mirror of
+  /// LocationDirectory::ApplyResult).
+  struct ApplyResult {
+    RegionId region = kInvalidRegion;  ///< region holding the user's record
+    bool applied = false;
+    bool handoff = false;
+  };
+
+  explicit ShardedDirectory(const overlay::Partition& partition);
+  ShardedDirectory(const overlay::Partition& partition, Options options);
+  ~ShardedDirectory();
+
+  ShardedDirectory(const ShardedDirectory&) = delete;
+  ShardedDirectory& operator=(const ShardedDirectory&) = delete;
+
+  /// Applies a batch of reports.  Results are independent of shard count
+  /// and thread interleaving (see determinism contract above).
+  void apply_updates(std::span<const LocationRecord> batch);
+
+  /// Single-record convenience: a batch of one.
+  ApplyResult apply_update(const LocationRecord& record);
+
+  /// Point lookup through the per-user memo (no partition access).
+  std::optional<LocationRecord> locate(UserId user) const;
+
+  /// The region currently holding `user`, or kInvalidRegion.
+  RegionId region_of(UserId user) const;
+
+  /// The store of one region (null when no user ever landed there).
+  const LocationStore* store(RegionId region) const;
+
+  /// All records inside `rect`, gathered across every intersecting region.
+  std::vector<LocationRecord> range(const Rect& rect) const;
+
+  /// The k records nearest `p` across every shard.
+  std::vector<LocationRecord> k_nearest(const Point& p, std::size_t k) const;
+
+  std::size_t size() const noexcept { return user_state_.size(); }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  const Counters& counters() const noexcept { return counters_; }
+
+  /// Canonical snapshot of every store: regions sorted by id, records
+  /// sorted by user.  Equal contents produce equal bytes for any K.
+  void serialize(net::Writer& w) const;
+
+ private:
+  struct UserState {
+    RegionId region = kInvalidRegion;  ///< region of the last applied report
+    std::uint64_t seq = 0;             ///< seq of the last applied report
+  };
+
+  /// One queued store operation.  For evictions, `rec.user` names the user
+  /// and `rec.seq` carries max_seq for the erase_if_stale guard.
+  struct ShardOp {
+    LocationRecord rec{};
+    RegionId region{};
+    bool evict = false;
+  };
+
+  struct Shard {
+    std::vector<ShardOp> queue;
+    common::FlatMap<RegionId, LocationStore> stores;
+  };
+
+  std::size_t shard_of(RegionId region) const noexcept {
+    return shards_.size() == 1
+               ? 0
+               : static_cast<std::size_t>(common::mix_hash(region.value) %
+                                          shards_.size());
+  }
+
+  /// Phase-A target resolution for one record whose memo entry is `state`
+  /// (null for a never-seen user).  Pure read of frozen state: safe to
+  /// call from several threads at once.
+  RegionId resolve_target(const UserState* state, const Point& position,
+                          bool* fast) const;
+
+  /// Rebuilds the region-id -> rect memo when the partition geometry
+  /// changed since the last batch.
+  void refresh_region_rects();
+
+  /// Runs fn(0..shards-1): fn(0) on the caller, the rest on the pool.
+  void run_parallel(const std::function<void(std::size_t)>& fn);
+  void worker_loop(std::size_t worker_index);
+
+  const overlay::Partition& partition_;
+  double cell_size_;
+
+  // Dispatcher state (touched only between batch barriers).
+  common::FlatMap<UserId, UserState> user_state_;
+  common::FlatMap<RegionId, Rect> region_rects_;
+  std::uint64_t cached_geometry_version_ = ~std::uint64_t{0};
+  std::vector<RegionId> targets_;  ///< phase-A output, one per batch record
+  /// Phase-A memo-entry pointers, one per batch record (null = new user).
+  /// Valid through phase B: the memo is reserved for the batch's new
+  /// users up front and open addressing never moves slots on insert.
+  std::vector<UserState*> states_;
+  Counters counters_;
+
+  std::vector<Shard> shards_;
+
+  // Worker pool (spawned only when shards > 1).
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace geogrid::mobility

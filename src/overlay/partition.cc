@@ -80,6 +80,7 @@ RegionId Partition::create_root(NodeId primary) {
   regions_[id] = Region{id, plane_, 0, primary, std::nullopt};
   adjacency_[id] = {};
   index_add(primary_index_, primary, id);
+  ++geometry_version_;
   return id;
 }
 
@@ -124,6 +125,7 @@ RegionId Partition::split_explicit(RegionId id, NodeId other_primary,
   relink_region(id, candidates);
   candidates.push_back(id);
   relink_region(new_id, candidates);
+  ++geometry_version_;
   return new_id;
 }
 
@@ -134,6 +136,7 @@ void Partition::retire_last_region(RegionId id) {
   if (r.secondary) index_remove(secondary_index_, *r.secondary, id);
   adjacency_.erase(id);
   regions_.erase(id);
+  ++geometry_version_;
 }
 
 void Partition::merge(RegionId into, RegionId from) {
@@ -172,6 +175,7 @@ void Partition::merge(RegionId into, RegionId from) {
   regions_.erase(from);
 
   relink_region(into, candidates);
+  ++geometry_version_;
 }
 
 void Partition::set_primary(RegionId id, NodeId node_id) {

@@ -78,6 +78,13 @@ class Partition {
   /// partition is empty.
   RegionId locate(const Point& p, RegionId hint = kInvalidRegion) const;
 
+  /// Monotonic counter bumped on every geometry change (root creation,
+  /// split, merge, retirement).  Owner-seat moves do NOT bump it: they
+  /// reassign seats without touching any rect.  Lets callers cache
+  /// region-id -> rect mappings (e.g. the sharded ingest engine's per-user
+  /// region memo) and invalidate them exactly when a rect may have moved.
+  std::uint64_t geometry_version() const noexcept { return geometry_version_; }
+
   // --- Mechanics ---------------------------------------------------------
 
   /// Creates the root region spanning the whole plane, owned by `primary`
@@ -149,6 +156,7 @@ class Partition {
   std::unordered_map<NodeId, std::vector<RegionId>> secondary_index_;
   std::uint32_t next_region_id_ = 0;
   std::uint32_t next_node_id_ = 0;
+  std::uint64_t geometry_version_ = 0;
 };
 
 }  // namespace geogrid::overlay

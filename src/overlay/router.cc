@@ -1,36 +1,11 @@
 #include "overlay/router.h"
 
 #include <algorithm>
-#include <limits>
 #include <unordered_set>
 
 #include "overlay/partition.h"
 
 namespace geogrid::overlay {
-
-std::optional<RegionId> greedy_next(
-    std::span<const HopCandidate> candidates, const Point& target,
-    const std::function<bool(RegionId)>& visited) {
-  std::optional<RegionId> best;
-  double best_distance = std::numeric_limits<double>::infinity();
-  double best_area = std::numeric_limits<double>::infinity();
-  for (const auto& c : candidates) {
-    if (visited && visited(c.region)) continue;
-    const double d = c.rect.distance_to(target);
-    const double a = c.rect.area();
-    const bool better =
-        d < best_distance - kGeoEps ||
-        (almost_equal(d, best_distance) &&
-         (a < best_area - kGeoEps ||
-          (almost_equal(a, best_area) && (!best || c.region < *best))));
-    if (better) {
-      best = c.region;
-      best_distance = d;
-      best_area = a;
-    }
-  }
-  return best;
-}
 
 RouteResult route_greedy(const Partition& partition, RegionId from,
                          const Point& target) {

@@ -19,7 +19,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
@@ -42,9 +42,41 @@ struct HopCandidate {
 /// for which `visited` returns true.  Returns nullopt when every candidate
 /// is visited.  Selection: minimum rect-to-target distance, then smaller
 /// area (finer region), then smaller id.
-std::optional<RegionId> greedy_next(
-    std::span<const HopCandidate> candidates, const Point& target,
-    const std::function<bool(RegionId)>& visited = nullptr);
+///
+/// The visited predicate is a template parameter, not a std::function:
+/// this runs once per routing hop on every routed message, and the
+/// type-erased call (plus its non-inlinable indirect branch) was
+/// measurable in bench_routing_hops.  Callers pass a lambda; the
+/// predicate-free overload below serves the no-filter case.
+template <typename VisitedFn>
+std::optional<RegionId> greedy_next(std::span<const HopCandidate> candidates,
+                                    const Point& target, VisitedFn&& visited) {
+  std::optional<RegionId> best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const auto& c : candidates) {
+    if (visited(c.region)) continue;
+    const double d = c.rect.distance_to(target);
+    const double a = c.rect.area();
+    const bool better =
+        d < best_distance - kGeoEps ||
+        (almost_equal(d, best_distance) &&
+         (a < best_area - kGeoEps ||
+          (almost_equal(a, best_area) && (!best || c.region < *best))));
+    if (better) {
+      best = c.region;
+      best_distance = d;
+      best_area = a;
+    }
+  }
+  return best;
+}
+
+/// No-filter overload: every candidate is eligible.
+inline std::optional<RegionId> greedy_next(
+    std::span<const HopCandidate> candidates, const Point& target) {
+  return greedy_next(candidates, target, [](RegionId) { return false; });
+}
 
 /// Result of routing a request through the partition.
 struct RouteResult {

@@ -19,10 +19,10 @@ TEST(LocationStore, IngestAndLocate) {
   LocationStore store;
   EXPECT_TRUE(store.empty());
   EXPECT_TRUE(store.ingest(rec(1, 10.0, 20.0, 1, 5.0)));
-  ASSERT_NE(store.locate(UserId{1}), nullptr);
+  ASSERT_TRUE(store.locate(UserId{1}).has_value());
   EXPECT_EQ(store.locate(UserId{1})->position, (Point{10.0, 20.0}));
   EXPECT_EQ(store.locate(UserId{1})->timestamp, 5.0);
-  EXPECT_EQ(store.locate(UserId{2}), nullptr);
+  EXPECT_FALSE(store.locate(UserId{2}).has_value());
   EXPECT_EQ(store.size(), 1u);
 }
 
@@ -52,9 +52,9 @@ TEST(LocationStore, EraseIfStaleRespectsNewerRecord) {
   LocationStore store;
   EXPECT_TRUE(store.ingest(rec(1, 1.0, 1.0, 10)));
   EXPECT_FALSE(store.erase_if_stale(UserId{1}, 9));  // record is newer
-  EXPECT_NE(store.locate(UserId{1}), nullptr);
+  EXPECT_TRUE(store.locate(UserId{1}).has_value());
   EXPECT_TRUE(store.erase_if_stale(UserId{1}, 10));  // eviction authority
-  EXPECT_EQ(store.locate(UserId{1}), nullptr);
+  EXPECT_FALSE(store.locate(UserId{1}).has_value());
   EXPECT_FALSE(store.erase_if_stale(UserId{1}, 99));  // already gone
 }
 
@@ -134,14 +134,57 @@ TEST(LocationStore, SerializationRoundTrips) {
   EXPECT_EQ(copy.cell_size(), 0.5);
   ASSERT_EQ(copy.size(), store.size());
   for (std::uint32_t i = 1; i <= 50; ++i) {
-    const auto* a = store.locate(UserId{i});
-    const auto* b = copy.locate(UserId{i});
-    ASSERT_NE(b, nullptr);
+    const auto a = store.locate(UserId{i});
+    const auto b = copy.locate(UserId{i});
+    ASSERT_TRUE(b.has_value());
     EXPECT_EQ(*a, *b);
   }
   // The rebuilt spatial index answers identically.
   const Rect window{16, 16, 8, 8};
   EXPECT_EQ(store.range(window).size(), copy.range(window).size());
+}
+
+TEST(LocationStore, EncodeIsCanonicalAcrossIngestionOrder) {
+  // Two stores holding the same records must serialize byte-identically
+  // no matter what order (and with what interleaved churn) the records
+  // arrived — this is what makes the sharded directory's snapshots
+  // shard-count independent.
+  LocationStore forward(1.0);
+  LocationStore shuffled(1.0);
+  std::vector<LocationRecord> records;
+  Rng rng(11);
+  for (std::uint32_t i = 1; i <= 64; ++i) {
+    records.push_back(rec(i, rng.uniform(0.0, 32.0), rng.uniform(0.0, 32.0),
+                          i, i * 0.5));
+  }
+  for (const auto& r : records) EXPECT_TRUE(forward.ingest(r));
+  // Reverse order, with an extra insert/erase churn in the middle.
+  for (std::size_t i = records.size(); i-- > 0;) {
+    EXPECT_TRUE(shuffled.ingest(records[i]));
+    if (i == records.size() / 2) {
+      EXPECT_TRUE(shuffled.ingest(rec(999, 1.0, 1.0, 1)));
+      EXPECT_TRUE(shuffled.erase_if_stale(UserId{999}, 1));
+    }
+  }
+  net::Writer wa;
+  net::Writer wb;
+  forward.encode(wa);
+  shuffled.encode(wb);
+  EXPECT_EQ(std::move(wa).take(), std::move(wb).take());
+}
+
+TEST(LocationStore, EraseIfStaleIsNoOpAgainstNewerIngest) {
+  // The handoff race: an eviction for seq N arrives after the user already
+  // reported seq N+1 back into this region.  The eviction must not destroy
+  // the newer record.
+  LocationStore store;
+  EXPECT_TRUE(store.ingest(rec(1, 1.0, 1.0, 5)));
+  EXPECT_TRUE(store.erase_if_stale(UserId{1}, 5));  // user left...
+  EXPECT_TRUE(store.ingest(rec(1, 2.0, 2.0, 7)));   // ...and came back
+  EXPECT_FALSE(store.erase_if_stale(UserId{1}, 6));  // late eviction: no-op
+  ASSERT_TRUE(store.locate(UserId{1}).has_value());
+  EXPECT_EQ(store.locate(UserId{1})->seq, 7u);
+  EXPECT_EQ(store.locate(UserId{1})->position, (Point{2.0, 2.0}));
 }
 
 }  // namespace

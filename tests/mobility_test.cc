@@ -122,7 +122,7 @@ TEST(LocationDirectory, RoutesRecordsToCoveringRegion) {
   EXPECT_TRUE(res.applied);
   EXPECT_FALSE(res.handoff);
   EXPECT_EQ(res.region, fx.partition.locate(Point{10.0, 10.0}));
-  ASSERT_NE(dir.locate(UserId{1}), nullptr);
+  ASSERT_TRUE(dir.locate(UserId{1}).has_value());
   EXPECT_EQ(dir.region_of(UserId{1}), res.region);
   EXPECT_EQ(dir.size(), 1u);
   EXPECT_EQ(dir.counters().locate_hits, 1u);
@@ -140,7 +140,7 @@ TEST(LocationDirectory, BoundaryCrossingCountsAsHandoff) {
   EXPECT_EQ(dir.counters().handoffs, 1u);
   // The old region's store no longer holds the user.
   ASSERT_NE(dir.store(first), nullptr);
-  EXPECT_EQ(dir.store(first)->locate(UserId{1}), nullptr);
+  EXPECT_FALSE(dir.store(first)->locate(UserId{1}).has_value());
   EXPECT_EQ(dir.size(), 1u);
 }
 
@@ -190,8 +190,8 @@ TEST(LocationDirectory, FleetOfUsersStaysConsistentUnderMotion) {
   EXPECT_EQ(dir.counters().updates_applied, 200u * 50u);
   // Every user is locatable and stored in the region covering its position.
   for (const auto& u : pop.users()) {
-    const auto* stored = dir.locate(u.id);
-    ASSERT_NE(stored, nullptr);
+    const auto stored = dir.locate(u.id);
+    ASSERT_TRUE(stored.has_value());
     EXPECT_EQ(stored->position, u.position);
     EXPECT_EQ(dir.region_of(u.id), fx.partition.locate(u.position));
   }

@@ -35,7 +35,7 @@ class ProtocolMobilityTest : public ::testing::Test {
         if (!(region.rect.covers(p) || region.rect.covers_inclusive(p))) {
           continue;
         }
-        if (region.users.locate(user) != nullptr) ++copies;
+        if (region.users.locate(user).has_value()) ++copies;
       }
     }
     return copies;
@@ -247,7 +247,7 @@ TEST(ProtocolMobilityFailover, ReplicatedStoreServesAfterPrimaryCrash) {
   bool replicated = false;
   for (const auto& [rid, region] : primary->owned()) {
     if (region.is_primary() && region.full() &&
-        region.users.locate(user) != nullptr) {
+        region.users.locate(user).has_value()) {
       replicated = true;
     }
   }

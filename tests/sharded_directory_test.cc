@@ -1,0 +1,237 @@
+// ShardedDirectory: batched parallel ingestion, shard-count invariance,
+// handoff eviction ordering and parity with the serial LocationDirectory.
+#include "mobility/sharded_directory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "mobility/directory.h"
+#include "mobility/motion.h"
+
+namespace geogrid::mobility {
+namespace {
+
+constexpr Rect kPlane{0.0, 0.0, 64.0, 64.0};
+
+// Four quadrant regions via two split rounds (same shape as the
+// LocationDirectory fixture, so the two suites exercise one geometry).
+struct QuadrantFixture {
+  overlay::Partition partition{kPlane};
+  QuadrantFixture() {
+    const NodeId a = partition.add_node({NodeId{1}, Point{10, 10}, 10.0});
+    const NodeId b = partition.add_node({NodeId{2}, Point{10, 50}, 10.0});
+    const NodeId c = partition.add_node({NodeId{3}, Point{50, 10}, 10.0});
+    const NodeId d = partition.add_node({NodeId{4}, Point{50, 50}, 10.0});
+    const RegionId root = partition.create_root(a);
+    const RegionId north = partition.split(root, b);
+    partition.split(root, c);
+    partition.split(north, d);
+    EXPECT_EQ(partition.region_count(), 4u);
+  }
+};
+
+LocationRecord rec(std::uint32_t user, double x, double y,
+                   std::uint64_t seq = 1) {
+  return LocationRecord{UserId{user}, Point{x, y}, seq, 0.0};
+}
+
+/// One seeded motion trace, chopped into per-tick batches.
+std::vector<std::vector<LocationRecord>> make_trace(std::size_t users,
+                                                    int ticks,
+                                                    std::uint64_t seed) {
+  UserPopulation::Options opt;
+  opt.max_pause = 2.0;
+  UserPopulation pop(users, opt, nullptr, Rng(seed));
+  std::vector<std::vector<LocationRecord>> batches;
+  double now = 0.0;
+  for (int step = 0; step < ticks; ++step) {
+    now += 1.0;
+    pop.step(1.0, now);
+    std::vector<LocationRecord> batch;
+    batch.reserve(users);
+    for (auto& u : pop.users()) {
+      batch.push_back({u.id, u.position, u.next_seq++, now});
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+std::vector<std::byte> snapshot(const ShardedDirectory& dir) {
+  net::Writer w;
+  dir.serialize(w);
+  return std::move(w).take();
+}
+
+TEST(ShardedDirectory, ShardCountInvariance) {
+  // The acceptance-criteria test: the same update trace through K=1 and
+  // K=8 must leave byte-identical serialized stores and equal counters.
+  QuadrantFixture fx;
+  ShardedDirectory serial(fx.partition, {.shards = 1});
+  ShardedDirectory sharded(fx.partition, {.shards = 8});
+  EXPECT_EQ(serial.shard_count(), 1u);
+  EXPECT_EQ(sharded.shard_count(), 8u);
+
+  for (const auto& batch : make_trace(300, 40, 77)) {
+    serial.apply_updates(batch);
+    sharded.apply_updates(batch);
+  }
+  EXPECT_EQ(serial.size(), 300u);
+  EXPECT_EQ(sharded.size(), 300u);
+  EXPECT_EQ(serial.counters().updates_applied,
+            sharded.counters().updates_applied);
+  EXPECT_EQ(serial.counters().updates_stale, sharded.counters().updates_stale);
+  EXPECT_EQ(serial.counters().handoffs, sharded.counters().handoffs);
+  EXPECT_EQ(snapshot(serial), snapshot(sharded));
+}
+
+TEST(ShardedDirectory, MatchesSerialLocationDirectory) {
+  // Batched sharded ingestion must agree with the record-at-a-time serial
+  // directory on every observable: per-user locate, region assignment,
+  // whole-plane range, k-nearest and the shared counters.
+  QuadrantFixture fx;
+  LocationDirectory reference(fx.partition);
+  ShardedDirectory sharded(fx.partition, {.shards = 4});
+
+  const auto batches = make_trace(200, 30, 21);
+  for (const auto& batch : batches) {
+    for (const auto& r : batch) reference.apply_update(r);
+    sharded.apply_updates(batch);
+  }
+  // Replay an old batch: every record is stale for both engines.
+  for (const auto& r : batches[5]) reference.apply_update(r);
+  sharded.apply_updates(batches[5]);
+
+  EXPECT_EQ(reference.size(), sharded.size());
+  EXPECT_EQ(reference.counters().updates_applied,
+            sharded.counters().updates_applied);
+  EXPECT_EQ(reference.counters().updates_stale,
+            sharded.counters().updates_stale);
+  EXPECT_EQ(reference.counters().handoffs, sharded.counters().handoffs);
+  EXPECT_EQ(sharded.counters().updates_stale, 200u);
+
+  for (std::uint32_t u = 1; u <= 200; ++u) {
+    const auto a = reference.locate(UserId{u});
+    const auto b = sharded.locate(UserId{u});
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);
+    EXPECT_EQ(reference.region_of(UserId{u}), sharded.region_of(UserId{u}));
+  }
+  EXPECT_EQ(reference.range(kPlane).size(), sharded.range(kPlane).size());
+  const auto ka = reference.k_nearest(Point{32, 32}, 10);
+  const auto kb = sharded.k_nearest(Point{32, 32}, 10);
+  ASSERT_EQ(ka.size(), kb.size());
+  for (std::size_t i = 0; i < ka.size(); ++i) EXPECT_EQ(ka[i], kb[i]);
+}
+
+TEST(ShardedDirectory, SameBatchHandoffDanceKeepsNewestRecord) {
+  // A user crossing A -> B -> back to A inside one batch: the eviction
+  // messages must drain in dispatch order so the seq-3 record survives in
+  // A and B ends up empty.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 8});
+  const std::vector<LocationRecord> batch = {
+      rec(1, 10.0, 10.0, 1), rec(1, 50.0, 50.0, 2), rec(1, 11.0, 11.0, 3)};
+  dir.apply_updates(batch);
+
+  EXPECT_EQ(dir.counters().updates_applied, 3u);
+  EXPECT_EQ(dir.counters().handoffs, 2u);
+  const auto located = dir.locate(UserId{1});
+  ASSERT_TRUE(located.has_value());
+  EXPECT_EQ(located->position, (Point{11.0, 11.0}));
+  EXPECT_EQ(located->seq, 3u);
+
+  const RegionId home = fx.partition.locate(Point{11.0, 11.0});
+  const RegionId away = fx.partition.locate(Point{50.0, 50.0});
+  EXPECT_EQ(dir.region_of(UserId{1}), home);
+  ASSERT_NE(dir.store(home), nullptr);
+  EXPECT_EQ(dir.store(home)->size(), 1u);
+  ASSERT_NE(dir.store(away), nullptr);
+  EXPECT_EQ(dir.store(away)->size(), 0u);
+}
+
+TEST(ShardedDirectory, SeqGuardFiltersStaleAndReplayedRecords) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4});
+  const std::vector<LocationRecord> batch = {
+      rec(1, 10.0, 10.0, 5),
+      rec(1, 11.0, 11.0, 5),   // replay of the same seq
+      rec(1, 50.0, 50.0, 4)};  // reordered older report, crossing
+  dir.apply_updates(batch);
+  EXPECT_EQ(dir.counters().updates_applied, 1u);
+  EXPECT_EQ(dir.counters().updates_stale, 2u);
+  EXPECT_EQ(dir.counters().handoffs, 0u);
+  EXPECT_EQ(dir.locate(UserId{1})->position, (Point{10.0, 10.0}));
+}
+
+TEST(ShardedDirectory, ApplyUpdateReportsAppliedHandoffAndRegion) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 2});
+  const auto first = dir.apply_update(rec(1, 10.0, 10.0, 1));
+  EXPECT_TRUE(first.applied);
+  EXPECT_FALSE(first.handoff);
+  EXPECT_EQ(first.region, fx.partition.locate(Point{10.0, 10.0}));
+
+  const auto crossed = dir.apply_update(rec(1, 50.0, 50.0, 2));
+  EXPECT_TRUE(crossed.applied);
+  EXPECT_TRUE(crossed.handoff);
+  EXPECT_EQ(crossed.region, fx.partition.locate(Point{50.0, 50.0}));
+
+  const auto stale = dir.apply_update(rec(1, 20.0, 20.0, 2));
+  EXPECT_FALSE(stale.applied);
+  EXPECT_FALSE(stale.handoff);
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(ShardedDirectory, FastPathEngagesOnRepeatReports) {
+  // Second report from inside the same region must resolve via the rect
+  // memo, not a partition walk.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 1});
+  dir.apply_update(rec(1, 10.0, 10.0, 1));
+  EXPECT_EQ(dir.counters().locate_fast_path, 0u);  // first report is cold
+  dir.apply_update(rec(1, 10.5, 10.5, 2));
+  EXPECT_EQ(dir.counters().locate_fast_path, 1u);
+  dir.apply_update(rec(1, 50.0, 50.0, 3));  // crossing: memo rect misses
+  EXPECT_EQ(dir.counters().locate_fast_path, 1u);
+  EXPECT_EQ(dir.counters().handoffs, 1u);
+}
+
+TEST(ShardedDirectory, ObservesPartitionSplitsBetweenBatches) {
+  // The rect memo must be invalidated by geometry changes: after a split,
+  // reports land in the new covering region, not the memoized old one.
+  overlay::Partition partition(kPlane);
+  const NodeId a = partition.add_node({NodeId{1}, Point{10, 10}, 10.0});
+  const RegionId root = partition.create_root(a);
+  ShardedDirectory dir(partition, {.shards = 2});
+  EXPECT_TRUE(dir.apply_update(rec(1, 50.0, 50.0, 1)).applied);
+  EXPECT_EQ(dir.region_of(UserId{1}), root);
+
+  const NodeId b = partition.add_node({NodeId{2}, Point{50, 50}, 10.0});
+  partition.split(root, b);
+  EXPECT_TRUE(dir.apply_update(rec(1, 50.5, 50.5, 2)).applied);
+  const RegionId covering = partition.locate(Point{50.5, 50.5});
+  EXPECT_EQ(dir.region_of(UserId{1}), covering);
+  ASSERT_TRUE(dir.locate(UserId{1}).has_value());
+  EXPECT_EQ(dir.locate(UserId{1})->seq, 2u);
+  // If the user changed regions, the old store must have evicted it.
+  if (covering != root) {
+    ASSERT_NE(dir.store(root), nullptr);
+    EXPECT_EQ(dir.store(root)->size(), 0u);
+  }
+}
+
+TEST(ShardedDirectory, DefaultShardCountUsesHardware) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition);  // shards = 0 -> hardware threads
+  EXPECT_GE(dir.shard_count(), 1u);
+  for (const auto& batch : make_trace(50, 5, 9)) dir.apply_updates(batch);
+  EXPECT_EQ(dir.size(), 50u);
+}
+
+}  // namespace
+}  // namespace geogrid::mobility
