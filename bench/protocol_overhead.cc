@@ -137,8 +137,9 @@ int main() {
 
   const auto& stats = cluster.network().stats();
   std::map<std::string, std::uint64_t> per_family;
-  for (const auto& [type, count] : stats.per_type) {
-    per_family[family_of(type)] += count;
+  for (std::size_t t = 0; t < stats.per_type.size(); ++t) {
+    if (stats.per_type[t] == 0) continue;
+    per_family[family_of(static_cast<net::MsgType>(t))] += stats.per_type[t];
   }
 
   auto csv = bench::csv_for("protocol_overhead");

@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""CI bench-smoke gate for the mobile-user ingestion hot path.
+"""CI bench-smoke gate for the mobile-user hot paths.
 
-Compares a fresh bench_location_updates JSON report against the committed
-baseline (BENCH_location_updates.json) at one population and fails when
-serial ingestion throughput regressed by more than the allowed fraction.
+Compares a fresh bench JSON report against its committed baseline
+(BENCH_location_updates.json, BENCH_queries.json) at one population and
+fails when any shared throughput series regressed by more than the
+allowed fraction.  Every key containing "per_sec" that appears in both
+the fresh point and the baseline point is gated, so the script works
+unchanged for the ingestion bench (updates_per_sec*) and the query bench
+(queries_per_sec*), and new series join the gate by simply being emitted.
 CI runners are noisy, so the gate is deliberately loose (30%): it exists
 to catch order-of-magnitude regressions (an accidental O(n) partition
-walk per update, a lock on the hot path), not 5% jitter.
+walk per update, a lock on the hot path, a region scan sneaking back
+into the batched read path), not 5% jitter.
 
 Usage: check_bench_smoke.py <fresh.json> <baseline.json> [--users N]
        [--max-drop FRAC]
@@ -39,19 +44,20 @@ def main():
     with open(args.baseline) as f:
         base = point_for(json.load(f), args.users)
 
-    checks = ["updates_per_sec"]
-    # Older baselines predate the sharded engine; compare its keys only
-    # when both sides have them.
-    for key in ("updates_per_sec_k1", "updates_per_sec_sharded"):
-        if key in fresh and key in base:
-            checks.append(key)
+    # Gate every throughput series both reports know about.  Keys present
+    # on only one side (an older baseline, a just-added series) are
+    # skipped rather than failed so baselines can be refreshed lazily.
+    checks = sorted(k for k in fresh
+                    if "per_sec" in k and k in base)
+    if not checks:
+        raise SystemExit("no shared *per_sec keys between fresh and baseline")
 
     failed = False
     for key in checks:
         got, want = fresh[key], base[key]
         floor = want * (1.0 - args.max_drop)
         verdict = "OK" if got >= floor else "REGRESSION"
-        print(f"{key:>24}: {got:>12,.0f} vs baseline {want:>12,.0f} "
+        print(f"{key:>26}: {got:>12,.0f} vs baseline {want:>12,.0f} "
               f"(floor {floor:,.0f}) {verdict}")
         failed |= got < floor
 

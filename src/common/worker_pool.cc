@@ -1,0 +1,64 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+
+namespace geogrid::common {
+
+WorkerPool::WorkerPool(std::size_t tasks)
+    : tasks_(tasks == 0
+                 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                 : tasks) {
+  workers_.reserve(tasks_ - 1);
+  for (std::size_t w = 0; w + 1 < tasks_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkerPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    // Worker w always takes task w+1; the dispatching thread takes task 0.
+    (*job)(worker_index + 1);
+    {
+      std::lock_guard lock(mutex_);
+      ++done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < tasks_; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    done_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return done_ == workers_.size(); });
+}
+
+}  // namespace geogrid::common

@@ -1,0 +1,60 @@
+// Fixed-size fork/join worker pool for batch-parallel engines.
+//
+// Both halves of the mobile-user layer run the same execution shape: a
+// dispatching thread partitions a batch into T independent tasks, all T run
+// at once, and a barrier ends the batch (ShardedDirectory's locate/drain
+// phases, QueryEngine's per-chunk query execution).  WorkerPool is that
+// shape extracted once: `run(fn)` invokes fn(0..tasks-1), task 0 on the
+// calling thread and the rest on persistent workers, and returns only when
+// every task finished.  With tasks == 1 no threads are ever spawned and
+// run() degenerates to a plain call — the serial configurations stay
+// genuinely single-threaded.
+//
+// The pool is NOT re-entrant and has exactly one dispatcher at a time: the
+// thread that constructed it calls run().  Determinism is the caller's
+// business — the pool guarantees only that every task ran to completion
+// before run() returns, so engines that partition work by pure functions of
+// the task index (as both users here do) get thread-count-independent
+// results for free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geogrid::common {
+
+class WorkerPool {
+ public:
+  /// Spawns `tasks - 1` worker threads (0 = hardware concurrency).
+  explicit WorkerPool(std::size_t tasks);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of tasks each run() call fans out to.
+  std::size_t task_count() const noexcept { return tasks_; }
+
+  /// Runs fn(0..tasks-1): fn(0) on the caller, the rest on the pool.
+  /// Returns after every task completed (the batch barrier).
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  std::size_t tasks_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace geogrid::common

@@ -112,4 +112,11 @@ GridSimulation::make_location_directory(double cell_size) const {
   return std::make_unique<mobility::ShardedDirectory>(partition_, opts);
 }
 
+std::unique_ptr<mobility::QueryEngine> GridSimulation::make_query_engine(
+    mobility::ShardedDirectory& directory) const {
+  mobility::QueryEngine::Options opts;
+  opts.threads = options_.query_threads;
+  return std::make_unique<mobility::QueryEngine>(directory, opts);
+}
+
 }  // namespace geogrid::core

@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "core/options.h"
 #include "loadbalance/driver.h"
+#include "mobility/query_engine.h"
 #include "mobility/sharded_directory.h"
 #include "overlay/partition.h"
 #include "overlay/snapshot.h"
@@ -58,6 +59,12 @@ class GridSimulation {
   /// returned directory; it must not outlive the simulation.
   std::unique_ptr<mobility::ShardedDirectory> make_location_directory(
       double cell_size = 1.0) const;
+
+  /// The batched snapshot-consistent read engine over a directory made by
+  /// make_location_directory, fanned out per options().query_threads.  The
+  /// engine must not outlive the directory.
+  std::unique_ptr<mobility::QueryEngine> make_query_engine(
+      mobility::ShardedDirectory& directory) const;
 
   /// Max/mean/stddev of the per-node workload index (the figures' metric).
   Summary workload_summary() const;

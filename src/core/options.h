@@ -37,6 +37,10 @@ struct SimulationOptions {
   /// GridSimulation::make_location_directory.  0 = hardware threads,
   /// 1 = serial.  Results are shard-count independent by contract.
   std::size_t ingest_shards = 0;
+  /// Worker-thread count of the batched read engine built by
+  /// GridSimulation::make_query_engine.  0 = hardware threads, 1 = serial.
+  /// Results are thread-count independent by contract.
+  std::size_t query_threads = 0;
 };
 
 }  // namespace geogrid::core

@@ -1,0 +1,57 @@
+#include "metrics/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace geogrid::metrics {
+
+void LatencyHistogram::record_micros(double micros) noexcept {
+  if (!(micros >= 0.0)) micros = 0.0;  // NaN / negative clock skew -> 0
+  std::size_t bucket = 0;
+  if (micros >= 1.0) {
+    const int e = std::ilogb(micros);  // floor(log2) for finite positives
+    bucket = std::min<std::size_t>(kBuckets - 1,
+                                   static_cast<std::size_t>(e) + 1);
+  }
+  ++buckets_[bucket];
+  ++total_;
+  sum_micros_ += micros;
+  max_micros_ = std::max(max_micros_, micros);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  total_ += other.total_;
+  sum_micros_ += other.sum_micros_;
+  max_micros_ = std::max(max_micros_, other.max_micros_);
+}
+
+double LatencyHistogram::percentile_micros(double p) const noexcept {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile sample, 1-based, nearest-rank method.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Upper edge of bucket b: 2^b micros (bucket 0 = everything < 1us).
+      return std::ldexp(1.0, static_cast<int>(b));
+    }
+  }
+  return max_micros_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus mean=%.2fus",
+                percentile_micros(50), percentile_micros(95),
+                percentile_micros(99), max_micros_, mean_micros());
+  return std::string(buf);
+}
+
+}  // namespace geogrid::metrics

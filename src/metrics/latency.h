@@ -1,0 +1,54 @@
+// Log-scale latency histogram for the query-path benchmarks.
+//
+// Query latencies span four orders of magnitude (a memoized locate is tens
+// of nanoseconds; a plane-sized range query is milliseconds), so the
+// uniform-bin Histogram the partition figures use would put everything in
+// one bin.  LatencyHistogram buckets by the base-2 logarithm of the
+// microsecond value — constant work to record, ~2x worst-case relative
+// error on a percentile estimate, and cheap to merge across worker
+// threads, which is how the batched engine's per-task tallies combine.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace geogrid::metrics {
+
+class LatencyHistogram {
+ public:
+  /// Bucket b holds samples in [2^(b-1), 2^b) microseconds; bucket 0 holds
+  /// everything below 1us.  64 buckets cover any double that can occur.
+  static constexpr std::size_t kBuckets = 64;
+
+  void record_micros(double micros) noexcept;
+  void record_seconds(double seconds) noexcept {
+    record_micros(seconds * 1e6);
+  }
+
+  /// Folds another histogram's counts into this one (per-thread merge).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  double max_micros() const noexcept { return max_micros_; }
+  double sum_micros() const noexcept { return sum_micros_; }
+  double mean_micros() const noexcept {
+    return total_ == 0 ? 0.0 : sum_micros_ / static_cast<double>(total_);
+  }
+
+  /// Upper edge (micros) of the bucket holding the p-th percentile sample,
+  /// p in [0, 100].  Conservative: the true sample is at most 2x smaller.
+  double percentile_micros(double p) const noexcept;
+
+  /// One-line "p50=… p95=… p99=… max=…" summary for reports.
+  std::string summary() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t total_ = 0;
+  double sum_micros_ = 0.0;
+  double max_micros_ = 0.0;
+};
+
+}  // namespace geogrid::metrics

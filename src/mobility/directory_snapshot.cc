@@ -1,0 +1,24 @@
+#include "mobility/directory_snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace geogrid::mobility {
+
+void DirectorySnapshot::serialize(net::Writer& w) const {
+  std::vector<std::pair<RegionId, const LocationStore*>> stores;
+  for (const auto& slice : slices_) {
+    slice->for_each([&](RegionId id, const LocationStore& st) {
+      stores.emplace_back(id, &st);
+    });
+  }
+  std::sort(stores.begin(), stores.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.varint(stores.size());
+  for (const auto& [id, st] : stores) {
+    w.region_id(id);
+    st->encode(w);
+  }
+}
+
+}  // namespace geogrid::mobility

@@ -1,0 +1,99 @@
+// Epoch-versioned immutable read view of a sharded location directory.
+//
+// The write side (ShardedDirectory) mutates its per-shard stores batch by
+// batch; readers that walked those live structures would tear — half a
+// batch applied, a record mid-handoff present in two regions or neither.
+// DirectorySnapshot is the read side's answer: an immutable copy of the
+// user -> region map plus one store-map slice per shard, stamped with the
+// ingest epoch (number of applied batches) it reflects.  A snapshot is
+// reached only through shared_ptr<const ...>, so a reader holding one sees
+// exactly one epoch for as long as it keeps the pointer, no matter how far
+// the writer advances — the isolation contract the concurrent
+// ingest-while-query test pins.
+//
+// Publication is copy-on-write at shard granularity: the writer republishes
+// only the slices whose shard drained an operation since the last publish,
+// and untouched slices are shared between consecutive snapshots.  Copying
+// is the writer's cost, off the query path entirely; queries pay the same
+// flat-map probes they would against the live structures.
+//
+// Store content under a region id is byte-identical for every shard count
+// (the ingestion determinism contract), and the slice layout only routes
+// lookups, so two snapshots of equivalent directories with different K
+// serialize to identical bytes — which is what lets the query engine
+// promise shard-count-invariant results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/ids.h"
+#include "mobility/location_store.h"
+#include "net/codec.h"
+
+namespace geogrid::mobility {
+
+/// Where one user's latest applied report lives: the owning region and the
+/// sequence number guarding against stale/replayed reports.
+struct UserSlot {
+  RegionId region = kInvalidRegion;
+  std::uint64_t seq = 0;
+};
+
+/// Stable region -> shard assignment shared by the live directory and its
+/// snapshots (hash of the region id, so it survives partition changes).
+inline std::size_t shard_of_region(RegionId region,
+                                   std::size_t shards) noexcept {
+  return shards == 1 ? 0
+                     : static_cast<std::size_t>(common::mix_hash(region.value) %
+                                                shards);
+}
+
+class DirectorySnapshot {
+ public:
+  using StoreMap = common::FlatMap<RegionId, LocationStore>;
+
+  DirectorySnapshot(std::uint64_t epoch,
+                    common::FlatMap<UserId, UserSlot> users,
+                    std::vector<std::shared_ptr<const StoreMap>> slices)
+      : epoch_(epoch), users_(std::move(users)), slices_(std::move(slices)) {}
+
+  /// Ingest epoch (applied-batch count) this snapshot reflects.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  std::size_t size() const noexcept { return users_.size(); }
+  std::size_t shard_count() const noexcept { return slices_.size(); }
+
+  /// The region holding `user` at this epoch, or kInvalidRegion.
+  RegionId region_of(UserId user) const {
+    const UserSlot* slot = users_.find(user);
+    return slot == nullptr ? kInvalidRegion : slot->region;
+  }
+
+  /// The frozen store of one region (null when no user lived there).
+  const LocationStore* store(RegionId region) const {
+    return slices_[shard_of_region(region, slices_.size())]->find(region);
+  }
+
+  /// Point lookup through the frozen user -> region map.
+  std::optional<LocationRecord> locate(UserId user) const {
+    const UserSlot* slot = users_.find(user);
+    if (slot == nullptr) return std::nullopt;
+    const LocationStore* st = store(slot->region);
+    return st == nullptr ? std::nullopt : st->locate(user);
+  }
+
+  /// Canonical serialization: regions sorted by id, records by user —
+  /// identical bytes to ShardedDirectory::serialize at the same epoch.
+  void serialize(net::Writer& w) const;
+
+ private:
+  std::uint64_t epoch_;
+  common::FlatMap<UserId, UserSlot> users_;
+  std::vector<std::shared_ptr<const StoreMap>> slices_;
+};
+
+}  // namespace geogrid::mobility

@@ -132,6 +132,12 @@ void LocationStore::clear() {
 
 std::vector<LocationRecord> LocationStore::range(const Rect& rect) const {
   std::vector<LocationRecord> out;
+  range_into(rect, out);
+  return out;
+}
+
+void LocationStore::range_into(const Rect& rect,
+                               std::vector<LocationRecord>& out) const {
   const std::int32_t cx0 = cell_coord(rect.x);
   const std::int32_t cx1 = cell_coord(rect.right());
   const std::int32_t cy0 = cell_coord(rect.y);
@@ -148,18 +154,24 @@ std::vector<LocationRecord> LocationStore::range(const Rect& rect) const {
       }
     }
   }
-  return out;
 }
 
 std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
                                                      std::size_t k) const {
-  std::vector<LocationRecord> best;
-  if (k == 0 || users_.empty()) return best;
-  const auto better = [&p](const LocationRecord& a, const LocationRecord& b) {
-    const double da = distance(a.position, p);
-    const double db = distance(b.position, p);
-    if (da != db) return da < db;
-    return a.user < b.user;
+  std::vector<LocationRecord> out;
+  if (k == 0 || users_.empty()) return out;
+  // Candidates carry their distance so the hot reject path — a record
+  // farther than the kth-best — costs one distance computation and one
+  // compare, instead of re-deriving distances inside an ordered insert.
+  struct Scored {
+    double dist;
+    std::uint32_t slot;
+  };
+  std::vector<Scored> best;
+  best.reserve(k + 1);
+  const auto scored_after = [this](const Scored& a, const Scored& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return users_[a.slot] < users_[b.slot];
   };
   // Expanding ring of cells around p.  After collecting k candidates the
   // search may stop once the ring's nearest possible point is farther than
@@ -177,7 +189,7 @@ std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
     if (best.size() >= k) {
       // Cells in this ring are at least (ring - 1) * cell_size away.
       const double ring_min = (ring - 1) * cell_size_;
-      if (ring_min > distance(best.back().position, p)) break;
+      if (ring_min > best.back().dist) break;
     }
     for (std::int32_t cx = pcx - ring; cx <= pcx + ring; ++cx) {
       for (std::int32_t cy = pcy - ring; cy <= pcy + ring; ++cy) {
@@ -187,16 +199,19 @@ std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
         const auto* bucket = cells_.find(pack(cx, cy));
         if (bucket == nullptr) continue;
         for (const std::uint32_t slot : *bucket) {
-          const LocationRecord rec = record_at(slot);
-          const auto pos =
-              std::lower_bound(best.begin(), best.end(), rec, better);
-          best.insert(pos, rec);
+          const Scored cand{distance(positions_[slot], p), slot};
+          if (best.size() >= k && !scored_after(cand, best.back())) continue;
+          const auto pos = std::lower_bound(best.begin(), best.end(), cand,
+                                            scored_after);
+          best.insert(pos, cand);
           if (best.size() > k) best.pop_back();
         }
       }
     }
   }
-  return best;
+  out.reserve(best.size());
+  for (const Scored& s : best) out.push_back(record_at(s.slot));
+  return out;
 }
 
 void LocationStore::encode(net::Writer& w) const {

@@ -95,6 +95,10 @@ class LocationStore {
   /// the east/north edges, matching region semantics).
   std::vector<LocationRecord> range(const Rect& rect) const;
 
+  /// range() appending into a caller-owned vector (not cleared) — the
+  /// batched query path merges per-region partials without reallocating.
+  void range_into(const Rect& rect, std::vector<LocationRecord>& out) const;
+
   /// The k records nearest to `p` (fewer when the store is smaller),
   /// ordered by ascending distance; ties break on user id.
   std::vector<LocationRecord> k_nearest(const Point& p, std::size_t k) const;

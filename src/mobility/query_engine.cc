@@ -1,0 +1,158 @@
+#include "mobility/query_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace geogrid::mobility {
+
+void QueryResult::encode(net::Writer& w) const {
+  w.varint(static_cast<std::uint64_t>(kind));
+  if (kind == Query::Kind::kLocate) {
+    w.boolean(found);
+    if (found) located.encode(w);
+    return;
+  }
+  w.varint(records.size());
+  for (const LocationRecord& rec : records) rec.encode(w);
+}
+
+void QueryEngine::serialize(net::Writer& w,
+                            std::span<const QueryResult> results) {
+  w.varint(results.size());
+  for (const QueryResult& r : results) r.encode(w);
+}
+
+QueryEngine::QueryEngine(ShardedDirectory& directory)
+    : QueryEngine(directory, Options{}) {}
+
+QueryEngine::QueryEngine(ShardedDirectory& directory, Options options)
+    : directory_(directory),
+      resolver_(directory.resolver()),
+      pool_(options.threads) {}
+
+std::vector<QueryResult> QueryEngine::run(std::span<const Query> batch) {
+  const auto snapshot = directory_.publish_snapshot();
+  return run_on(*snapshot, batch);
+}
+
+std::vector<QueryResult> QueryEngine::run_on(const DirectorySnapshot& snapshot,
+                                             std::span<const Query> batch) {
+  std::vector<QueryResult> results(batch.size());
+  const std::size_t tasks = pool_.task_count();
+  // Contiguous static chunks: which task computes a request never changes
+  // the request's answer (exec reads only frozen state), so the result
+  // vector — and its serialization — is thread-count invariant.
+  std::vector<Counters> task_counters(tasks);
+  pool_.run([&](std::size_t t) {
+    Scratch scratch;
+    const std::size_t lo = batch.size() * t / tasks;
+    const std::size_t hi = batch.size() * (t + 1) / tasks;
+    for (std::size_t i = lo; i < hi; ++i) {
+      exec(snapshot, batch[i], results[i], scratch, task_counters[t]);
+    }
+  });
+  // Deterministic aggregation: sum per-task tallies in task order.
+  for (const Counters& tc : task_counters) {
+    counters_.queries += tc.queries;
+    counters_.locates += tc.locates;
+    counters_.locate_hits += tc.locate_hits;
+    counters_.ranges += tc.ranges;
+    counters_.nearests += tc.nearests;
+    counters_.records_returned += tc.records_returned;
+    counters_.regions_scanned += tc.regions_scanned;
+  }
+  ++counters_.batches;
+  counters_.last_epoch = snapshot.epoch();
+  return results;
+}
+
+void QueryEngine::exec(const DirectorySnapshot& snapshot, const Query& q,
+                       QueryResult& out, Scratch& scratch,
+                       Counters& c) const {
+  out.kind = q.kind;
+  ++c.queries;
+  switch (q.kind) {
+    case Query::Kind::kLocate: {
+      ++c.locates;
+      if (auto rec = snapshot.locate(q.user)) {
+        out.found = true;
+        out.located = *rec;
+        ++c.locate_hits;
+        ++c.records_returned;
+      }
+      return;
+    }
+    case Query::Kind::kRange: {
+      ++c.ranges;
+      // Grid-indexed discovery, merged in ascending region-id order (the
+      // canonical order intersecting() returns) — identical output for
+      // every shard layout of the same stores.
+      resolver_.intersecting(q.rect, scratch.regions);
+      for (const RegionId id : scratch.regions) {
+        const LocationStore* st = snapshot.store(id);
+        if (st == nullptr || st->empty()) continue;
+        ++c.regions_scanned;
+        st->range_into(q.rect, out.records);
+      }
+      c.records_returned += out.records.size();
+      return;
+    }
+    case Query::Kind::kNearest: {
+      ++c.nearests;
+      if (q.k == 0) return;
+      auto& best = out.records;
+      const Point p = q.point;
+      // `dists` mirrors `best` so ordered insertion never recomputes a
+      // distance: candidates are rejected or placed on cached doubles.
+      std::vector<double>& dists = scratch.knn_dists;
+      dists.clear();
+      // Exact kNN over expanding region rings.  `ring_floor` lower-bounds
+      // every unvisited region — including the ring about to be
+      // enumerated — so refusing the ring once the kth-best beats the
+      // floor cannot miss a closer record; a region whose own rect
+      // distance exceeds the kth-best is skipped but the ring finishes —
+      // a later region in the SAME ring can still hold a closer record.
+      double kth = std::numeric_limits<double>::infinity();
+      resolver_.each_by_distance(
+          p, scratch.near,
+          [&](double ring_floor) { return ring_floor <= kth; },
+          [&](RegionId id, double dist, double) {
+            if (dist > kth) return true;
+            const LocationStore* st = snapshot.store(id);
+            if (st == nullptr || st->empty()) return true;
+            ++c.regions_scanned;
+            for (const LocationRecord& rec : st->k_nearest(p, q.k)) {
+              const double d = distance(rec.position, p);
+              if (best.size() >= q.k) {
+                // Probe results arrive distance-ascending: the first
+                // candidate beyond the kth-best ends the whole probe.
+                if (d > kth) break;
+                if (d == kth && !(rec.user < best.back().user)) continue;
+              }
+              std::size_t lo = 0, hi = best.size();
+              while (lo < hi) {
+                const std::size_t mid = (lo + hi) / 2;
+                if (dists[mid] < d ||
+                    (dists[mid] == d && best[mid].user < rec.user)) {
+                  lo = mid + 1;
+                } else {
+                  hi = mid;
+                }
+              }
+              best.insert(best.begin() + static_cast<std::ptrdiff_t>(lo), rec);
+              dists.insert(dists.begin() + static_cast<std::ptrdiff_t>(lo), d);
+              if (best.size() > q.k) {
+                best.pop_back();
+                dists.pop_back();
+              }
+              if (best.size() >= q.k) kth = dists.back();
+            }
+            return true;
+          });
+      c.records_returned += best.size();
+      return;
+    }
+  }
+}
+
+}  // namespace geogrid::mobility

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <tuple>
+#include <utility>
 
 namespace geogrid::mobility {
 
@@ -10,106 +11,23 @@ ShardedDirectory::ShardedDirectory(const overlay::Partition& partition)
 
 ShardedDirectory::ShardedDirectory(const overlay::Partition& partition,
                                    Options options)
-    : partition_(partition), cell_size_(options.cell_size) {
-  std::size_t shards = options.shards;
-  if (shards == 0) {
-    shards = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  shards_.resize(shards);
-  workers_.reserve(shards - 1);
-  for (std::size_t w = 0; w + 1 < shards; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(w); });
-  }
-}
-
-ShardedDirectory::~ShardedDirectory() {
-  {
-    std::lock_guard lock(mutex_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (auto& t : workers_) t.join();
-}
-
-void ShardedDirectory::worker_loop(std::size_t worker_index) {
-  std::uint64_t seen = 0;
-  while (true) {
-    const std::function<void(std::size_t)>* job = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
-      if (stop_) return;
-      seen = epoch_;
-      job = job_;
-    }
-    // Worker w always takes task w+1; the dispatching thread takes task 0.
-    (*job)(worker_index + 1);
-    {
-      std::lock_guard lock(mutex_);
-      ++done_;
-    }
-    done_cv_.notify_one();
-  }
-}
-
-void ShardedDirectory::run_parallel(
-    const std::function<void(std::size_t)>& fn) {
-  if (workers_.empty()) {
-    for (std::size_t i = 0; i < shards_.size(); ++i) fn(i);
-    return;
-  }
-  {
-    std::lock_guard lock(mutex_);
-    job_ = &fn;
-    done_ = 0;
-    ++epoch_;
-  }
-  work_cv_.notify_all();
-  fn(0);
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [&] { return done_ == workers_.size(); });
-}
-
-void ShardedDirectory::refresh_region_rects() {
-  if (partition_.geometry_version() == cached_geometry_version_) return;
-  region_rects_.clear();
-  region_rects_.reserve(partition_.region_count());
-  for (const auto& [id, region] : partition_.regions()) {
-    region_rects_[id] = region.rect;
-  }
-  cached_geometry_version_ = partition_.geometry_version();
-}
-
-RegionId ShardedDirectory::resolve_target(const UserState* state,
-                                          const Point& position,
-                                          bool* fast) const {
-  if (state != nullptr) {
-    if (const Rect* rect = region_rects_.find(state->region)) {
-      if (rect->covers(position) || rect->covers_inclusive(position)) {
-        // Same answer partition_.locate(position, state->region) would
-        // give — route_greedy stops immediately when the start region
-        // covers the target — minus the partition's hash-map traffic.
-        *fast = true;
-        return state->region;
-      }
-      return partition_.locate(position, state->region);
-    }
-    // Region retired since the last applied report: cold locate.
-  }
-  return partition_.locate(position);
-}
+    : partition_(partition),
+      cell_size_(options.cell_size),
+      resolver_(partition),
+      pool_(options.shards),
+      shards_(pool_.task_count()) {}
 
 void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
   if (batch.empty()) return;
-  refresh_region_rects();
+  resolver_.refresh();
   ++counters_.batches;
 
   // Phase A: resolve target regions in parallel against the frozen memo.
-  // resolve_target is a pure read of user_state_/region_rects_/partition_,
-  // so chunking cannot change any record's answer.  The memo-entry pointer
-  // found here is reused by phase B (one hash probe per record, not two);
-  // reserving the memo for the batch's new users keeps it valid across
-  // the phase-B inserts.
+  // RegionResolver::resolve is a pure read of user_state_/resolver_/
+  // partition_, so chunking cannot change any record's answer.  The
+  // memo-entry pointer found here is reused by phase B (one hash probe per
+  // record, not two); reserving the memo for the batch's new users keeps
+  // it valid across the phase-B inserts.
   targets_.resize(batch.size());
   states_.resize(batch.size());
   const std::size_t chunks = shards_.size();
@@ -120,21 +38,25 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       fast = false;
       states_[i] = user_state_.find(batch[i].user);
-      targets_[i] = resolve_target(states_[i], batch[i].position, &fast);
+      const RegionId hint =
+          states_[i] == nullptr ? kInvalidRegion : states_[i]->region;
+      targets_[i] = resolver_.resolve(batch[i].position, hint, &fast);
       fast_hits += fast ? 1 : 0;
       new_users += states_[i] == nullptr ? 1 : 0;
     }
   } else {
     std::vector<std::uint64_t> chunk_fast(chunks, 0);
     std::vector<std::uint64_t> chunk_new(chunks, 0);
-    run_parallel([&](std::size_t c) {
+    pool_.run([&](std::size_t c) {
       const std::size_t lo = batch.size() * c / chunks;
       const std::size_t hi = batch.size() * (c + 1) / chunks;
       bool fast = false;
       for (std::size_t i = lo; i < hi; ++i) {
         fast = false;
         states_[i] = user_state_.find(batch[i].user);
-        targets_[i] = resolve_target(states_[i], batch[i].position, &fast);
+        const RegionId hint =
+            states_[i] == nullptr ? kInvalidRegion : states_[i]->region;
+        targets_[i] = resolver_.resolve(batch[i].position, hint, &fast);
         chunk_fast[c] += fast ? 1 : 0;
         chunk_new[c] += states_[i] == nullptr ? 1 : 0;
       }
@@ -151,7 +73,7 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
     const LocationRecord& rec = batch[i];
     const RegionId target = targets_[i];
     if (target == kInvalidRegion) continue;  // empty partition
-    UserState* state = states_[i];
+    UserSlot* state = states_[i];
     bool inserted = false;
     if (state == nullptr) {
       // New to phase A — but an earlier record of this batch may have
@@ -181,8 +103,10 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
   }
 
   // Phase C: drain every shard queue in dispatch order, one worker each.
-  run_parallel([this](std::size_t s) {
+  pool_.run([this](std::size_t s) {
     Shard& shard = shards_[s];
+    if (shard.queue.empty()) return;
+    shard.dirty = true;
     for (const ShardOp& op : shard.queue) {
       if (op.evict) {
         if (LocationStore* store = shard.stores.find(op.region)) {
@@ -210,7 +134,7 @@ ShardedDirectory::ApplyResult ShardedDirectory::apply_update(
 }
 
 std::optional<LocationRecord> ShardedDirectory::locate(UserId user) const {
-  const UserState* state = user_state_.find(user);
+  const UserSlot* state = user_state_.find(user);
   if (state == nullptr) return std::nullopt;
   const Shard& shard = shards_[shard_of(state->region)];
   const LocationStore* store = shard.stores.find(state->region);
@@ -218,7 +142,7 @@ std::optional<LocationRecord> ShardedDirectory::locate(UserId user) const {
 }
 
 RegionId ShardedDirectory::region_of(UserId user) const {
-  const UserState* state = user_state_.find(user);
+  const UserSlot* state = user_state_.find(user);
   return state == nullptr ? kInvalidRegion : state->region;
 }
 
@@ -234,8 +158,7 @@ std::vector<LocationRecord> ShardedDirectory::range(const Rect& rect) const {
     }
     const LocationStore* st = store(id);
     if (st == nullptr) continue;
-    auto part = st->range(rect);
-    out.insert(out.end(), part.begin(), part.end());
+    st->range_into(rect, out);
   }
   return out;
 }
@@ -269,6 +192,44 @@ std::vector<LocationRecord> ShardedDirectory::k_nearest(const Point& p,
     }
   }
   return best;
+}
+
+std::shared_ptr<const DirectorySnapshot> ShardedDirectory::publish_snapshot() {
+  if (published_ != nullptr && published_->epoch() == ingest_epoch()) {
+    return published_;
+  }
+  if (slice_cache_.size() != shards_.size()) {
+    slice_cache_.resize(shards_.size());
+  }
+  // Recopy dirty slices in parallel; clean slices stay shared with prior
+  // snapshots.  Each task touches only its own slot, so no locking.
+  std::vector<std::uint8_t> task_copied(shards_.size(), 0);
+  pool_.run([&](std::size_t s) {
+    Shard& shard = shards_[s];
+    if (slice_cache_[s] == nullptr || shard.dirty) {
+      slice_cache_[s] =
+          std::make_shared<const DirectorySnapshot::StoreMap>(shard.stores);
+      shard.dirty = false;
+      task_copied[s] = 1;
+    }
+  });
+  for (const std::uint8_t c : task_copied) {
+    counters_.snapshot_slices_copied += c;
+  }
+  ++counters_.snapshots_published;
+  auto snap = std::make_shared<const DirectorySnapshot>(
+      ingest_epoch(), user_state_, slice_cache_);
+  {
+    std::lock_guard lock(snapshot_mutex_);
+    published_ = snap;
+  }
+  return snap;
+}
+
+std::shared_ptr<const DirectorySnapshot> ShardedDirectory::current_snapshot()
+    const {
+  std::lock_guard lock(snapshot_mutex_);
+  return published_;
 }
 
 void ShardedDirectory::serialize(net::Writer& w) const {

@@ -13,14 +13,15 @@
 //
 // A batch runs in three phases:
 //
-//   A. locate (parallel) — each record's target region is resolved against
-//      a frozen per-user {region, seq} memo: when the cached region's rect
-//      still covers the new position (the overwhelmingly common case — a
-//      user rarely leaves its region between reports) the partition walk is
-//      skipped entirely.  Rects are memoized per region and invalidated by
-//      Partition::geometry_version(), so splits/merges are observed at the
-//      next batch.  Resolution is a pure function of the frozen state, so
-//      the result is independent of how records are chunked over threads.
+//   A. locate (parallel) — each record's target region is resolved through
+//      the shared overlay::RegionResolver against a frozen per-user
+//      {region, seq} memo: when the cached region's rect still covers the
+//      new position (the overwhelmingly common case — a user rarely leaves
+//      its region between reports) the partition walk is skipped entirely.
+//      The resolver invalidates on Partition::geometry_version(), so
+//      splits/merges are observed at the next batch.  Resolution is a pure
+//      function of the frozen state, so the result is independent of how
+//      records are chunked over threads.
 //   B. dispatch (serial) — the seq guard filters stale/replayed records
 //      against the per-user memo, boundary crossings enqueue a small
 //      eviction message to the shard owning the user's previous region,
@@ -39,23 +40,32 @@
 // id with canonically-ordered records, so ShardedDirectory(K=1) and (K=8)
 // produce byte-identical snapshots from the same update trace; a tier-1
 // test pins exactly that.
+//
+// Read side: the per-call locate/range/k_nearest below walk the live
+// structures and are valid only between batches (the serial reference
+// path).  Readers that must overlap ingestion go through publish_snapshot /
+// current_snapshot: an epoch-versioned immutable DirectorySnapshot built
+// copy-on-write at shard granularity (only shards that drained an op since
+// the last publish are recopied).  mobility::QueryEngine is the batched
+// consumer of those snapshots.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "common/flat_map.h"
 #include "common/geometry.h"
 #include "common/ids.h"
+#include "common/worker_pool.h"
+#include "mobility/directory_snapshot.h"
 #include "mobility/location_store.h"
 #include "net/codec.h"
 #include "overlay/partition.h"
+#include "overlay/region_resolver.h"
 
 namespace geogrid::mobility {
 
@@ -75,6 +85,8 @@ class ShardedDirectory {
     std::uint64_t cross_shard_handoffs = 0;  ///< handoffs that crossed shards
     std::uint64_t batches = 0;
     std::uint64_t locate_fast_path = 0;  ///< rect-memo hits (no partition walk)
+    std::uint64_t snapshots_published = 0;   ///< fresh DirectorySnapshots built
+    std::uint64_t snapshot_slices_copied = 0;  ///< shard slices recopied
   };
 
   /// What one apply_update did (single-record convenience mirror of
@@ -87,7 +99,6 @@ class ShardedDirectory {
 
   explicit ShardedDirectory(const overlay::Partition& partition);
   ShardedDirectory(const overlay::Partition& partition, Options options);
-  ~ShardedDirectory();
 
   ShardedDirectory(const ShardedDirectory&) = delete;
   ShardedDirectory& operator=(const ShardedDirectory&) = delete;
@@ -109,25 +120,45 @@ class ShardedDirectory {
   const LocationStore* store(RegionId region) const;
 
   /// All records inside `rect`, gathered across every intersecting region.
+  /// Serial reference path: scans all partition regions per call.
   std::vector<LocationRecord> range(const Rect& rect) const;
 
-  /// The k records nearest `p` across every shard.
+  /// The k records nearest `p` across every shard.  Serial reference path:
+  /// orders all resident stores by rect distance per call.
   std::vector<LocationRecord> k_nearest(const Point& p, std::size_t k) const;
+
+  /// Publishes an immutable snapshot of the current state, stamped with
+  /// the ingest epoch (applied-batch count).  Copy-on-write: only shards
+  /// dirtied since the previous publish are recopied (in parallel), clean
+  /// slices are shared with prior snapshots, and publishing twice at the
+  /// same epoch returns the same snapshot.  Writer-side only: must not
+  /// overlap apply_updates.
+  std::shared_ptr<const DirectorySnapshot> publish_snapshot();
+
+  /// The latest published snapshot (null before the first publish).  Safe
+  /// to call from any thread, concurrently with ingestion; the returned
+  /// snapshot never changes.
+  std::shared_ptr<const DirectorySnapshot> current_snapshot() const;
+
+  /// Ingest epoch: number of non-empty batches applied so far.
+  std::uint64_t ingest_epoch() const noexcept { return counters_.batches; }
 
   std::size_t size() const noexcept { return user_state_.size(); }
   std::size_t shard_count() const noexcept { return shards_.size(); }
   const Counters& counters() const noexcept { return counters_; }
+
+  /// The shared region-resolution cache (rect memo + spatial region grid).
+  /// Refreshed by the write path each batch; the query engine reads it.
+  const overlay::RegionResolver& resolver() const noexcept {
+    return resolver_;
+  }
+  const overlay::Partition& partition() const noexcept { return partition_; }
 
   /// Canonical snapshot of every store: regions sorted by id, records
   /// sorted by user.  Equal contents produce equal bytes for any K.
   void serialize(net::Writer& w) const;
 
  private:
-  struct UserState {
-    RegionId region = kInvalidRegion;  ///< region of the last applied report
-    std::uint64_t seq = 0;             ///< seq of the last applied report
-  };
-
   /// One queued store operation.  For evictions, `rec.user` names the user
   /// and `rec.seq` carries max_seq for the erase_if_stale guard.
   struct ShardOp {
@@ -139,54 +170,35 @@ class ShardedDirectory {
   struct Shard {
     std::vector<ShardOp> queue;
     common::FlatMap<RegionId, LocationStore> stores;
+    bool dirty = false;  ///< drained an op since the last publish
   };
 
   std::size_t shard_of(RegionId region) const noexcept {
-    return shards_.size() == 1
-               ? 0
-               : static_cast<std::size_t>(common::mix_hash(region.value) %
-                                          shards_.size());
+    return shard_of_region(region, shards_.size());
   }
-
-  /// Phase-A target resolution for one record whose memo entry is `state`
-  /// (null for a never-seen user).  Pure read of frozen state: safe to
-  /// call from several threads at once.
-  RegionId resolve_target(const UserState* state, const Point& position,
-                          bool* fast) const;
-
-  /// Rebuilds the region-id -> rect memo when the partition geometry
-  /// changed since the last batch.
-  void refresh_region_rects();
-
-  /// Runs fn(0..shards-1): fn(0) on the caller, the rest on the pool.
-  void run_parallel(const std::function<void(std::size_t)>& fn);
-  void worker_loop(std::size_t worker_index);
 
   const overlay::Partition& partition_;
   double cell_size_;
 
   // Dispatcher state (touched only between batch barriers).
-  common::FlatMap<UserId, UserState> user_state_;
-  common::FlatMap<RegionId, Rect> region_rects_;
-  std::uint64_t cached_geometry_version_ = ~std::uint64_t{0};
+  common::FlatMap<UserId, UserSlot> user_state_;
+  overlay::RegionResolver resolver_;
   std::vector<RegionId> targets_;  ///< phase-A output, one per batch record
   /// Phase-A memo-entry pointers, one per batch record (null = new user).
   /// Valid through phase B: the memo is reserved for the batch's new
   /// users up front and open addressing never moves slots on insert.
-  std::vector<UserState*> states_;
+  std::vector<UserSlot*> states_;
   Counters counters_;
 
+  common::WorkerPool pool_;
   std::vector<Shard> shards_;
 
-  // Worker pool (spawned only when shards > 1).
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  std::size_t done_ = 0;
-  bool stop_ = false;
+  // Snapshot publication state.  slice_cache_ holds the last published
+  // copy of each shard's store map; published_ is swapped under
+  // snapshot_mutex_ so current_snapshot() is safe from reader threads.
+  std::vector<std::shared_ptr<const DirectorySnapshot::StoreMap>> slice_cache_;
+  std::shared_ptr<const DirectorySnapshot> published_;
+  mutable std::mutex snapshot_mutex_;
 };
 
 }  // namespace geogrid::mobility

@@ -12,6 +12,7 @@
 // wire).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -80,6 +81,12 @@ enum class MsgType : std::uint16_t {
   kLocateRequest = 93,
   kLocateReply = 94,
 };
+
+/// Array size for counters indexed by raw MsgType value (the tags are
+/// stable, dense-enough protocol constants — a 95-slot array beats a
+/// node-based map on every send).
+inline constexpr std::size_t kMsgTypeSlots =
+    static_cast<std::size_t>(MsgType::kLocateReply) + 1;
 
 namespace detail {
 

@@ -1,0 +1,167 @@
+// Shared region-resolution layer between the partition and its readers.
+//
+// Every consumer of the partition's geometry used to pay its own price for
+// "which region(s) does this point/rect concern": the sharded ingestion
+// engine kept a private region-id -> rect memo for its per-user fast path,
+// the directory read path swept every region per range call, and k-nearest
+// ordered all R stores by rect distance on every query.  RegionResolver
+// centralizes that: one rect memo plus one uniform spatial grid over the
+// region rectangles, both rebuilt lazily when Partition::geometry_version()
+// moves (splits/merges/retirements; owner-seat moves leave rects — and the
+// cache — alone).
+//
+//   * resolve(p, hint)     — the write path's target resolution: when the
+//     hinted region's memoized rect still covers p (the overwhelmingly
+//     common case for a mobile user between reports) the answer is one
+//     rect-cover test; otherwise it falls back to the partition's greedy
+//     locate, preserving its exact semantics (including the inclusive
+//     cover tolerance on plane borders).
+//   * intersecting(rect)   — the range-query region set (intersection or
+//     edge adjacency, matching region/record edge semantics), found by
+//     probing only the grid cells the rect covers instead of scanning all
+//     R regions.  Returned sorted by region id: canonical merge order.
+//   * each_by_distance(p)  — k-nearest region discovery: expanding
+//     Chebyshev rings of grid cells around p, each ring's new regions
+//     handed to the visitor sorted by (rect distance, id).  The visitor
+//     returns false to stop; unvisited regions are guaranteed to lie at
+//     least `ring_floor` away, which is the pruning bound exact kNN needs.
+//
+// The resolver is a cache, not an authority: refresh() must be called by
+// the owning engine between batches (it is cheap — one integer compare —
+// when the geometry did not change).  All query methods are const and
+// touch only frozen state, so one refreshed resolver may serve any number
+// of concurrent reader threads.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "overlay/partition.h"
+
+namespace geogrid::overlay {
+
+class RegionResolver {
+ public:
+  explicit RegionResolver(const Partition& partition);
+
+  /// Rebuilds the rect memo and region grid iff the partition geometry
+  /// changed since the last refresh.  Not thread-safe against the const
+  /// query methods below — call it from the batch dispatcher only.
+  void refresh();
+
+  /// The memoized rect of `region`, or null when the region is unknown to
+  /// the current geometry (retired since the last refresh).
+  const Rect* rect(RegionId region) const { return rects_.find(region); }
+
+  /// The region covering `p`, resolved through the `hint` fast path: when
+  /// the hinted region's rect still covers p the partition is never
+  /// touched and *fast is set.  Falls back to Partition::locate (greedy
+  /// descent from the hint) so the answer is exactly the partition's.
+  RegionId resolve(const Point& p, RegionId hint, bool* fast) const;
+
+  /// All regions whose rect intersects `rect` or is edge-adjacent to it
+  /// (the record-on-the-boundary case), sorted by region id.  Appends to
+  /// `out` (cleared first); grid-accelerated.
+  void intersecting(const Rect& rect, std::vector<RegionId>& out) const;
+
+  /// Region-distance candidate: orders by (rect distance, id).
+  struct Candidate {
+    double dist;
+    RegionId region;
+    bool operator<(const Candidate& o) const {
+      return dist != o.dist ? dist < o.dist : region < o.region;
+    }
+  };
+
+  /// Reusable working state for each_by_distance.  One scratch per reader
+  /// thread amortizes the dedup map and ring buffer across a whole batch
+  /// instead of reallocating them per query.
+  struct NearScratch {
+    common::FlatMap<RegionId, bool> seen;
+    std::vector<Candidate> ring;
+  };
+
+  /// Visits regions in expanding grid rings around `p`.  Each visited
+  /// region comes with its exact rect distance to p; within a ring,
+  /// regions arrive sorted by (distance, id).  `ring_floor` is a lower
+  /// bound on the distance of every region not yet visited — and of every
+  /// region in the ring about to be enumerated.  `proceed(ring_floor)` is
+  /// asked before each ring is enumerated: returning false stops the sweep
+  /// before any of the ring's dedup/distance/sort work is spent.  The
+  /// visitor may additionally return false to stop mid-ring.  Visits every
+  /// region when never stopped.
+  template <typename Proceed, typename Visitor>
+  void each_by_distance(const Point& p, NearScratch& scratch,
+                        Proceed&& proceed, Visitor&& visit) const;
+
+  std::size_t region_count() const noexcept { return rects_.size(); }
+  std::uint64_t cached_geometry_version() const noexcept { return version_; }
+
+ private:
+  std::size_t cell_index(std::size_t cx, std::size_t cy) const noexcept {
+    return cy * grid_dim_ + cx;
+  }
+  std::size_t clamp_cell(double v, double origin, double pitch) const noexcept;
+  void rebuild();
+
+  const Partition& partition_;
+  std::uint64_t version_ = ~std::uint64_t{0};
+  common::FlatMap<RegionId, Rect> rects_;
+
+  // Uniform grid over the plane bucketing region ids by rect overlap.
+  // Dimension tracks sqrt(R) so a typical region covers O(1) cells and a
+  // typical cell holds O(1) regions regardless of partition size.
+  std::size_t grid_dim_ = 1;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+  std::vector<std::vector<RegionId>> grid_;
+};
+
+template <typename Proceed, typename Visitor>
+void RegionResolver::each_by_distance(const Point& p, NearScratch& scratch,
+                                      Proceed&& proceed,
+                                      Visitor&& visit) const {
+  if (rects_.empty()) return;
+  const Rect& plane = partition_.plane();
+  const std::size_t pcx = clamp_cell(p.x, plane.x, cell_w_);
+  const std::size_t pcy = clamp_cell(p.y, plane.y, cell_h_);
+  const double min_pitch = cell_w_ < cell_h_ ? cell_w_ : cell_h_;
+
+  // A region first seen in ring r overlaps no cell of any smaller ring, so
+  // its rect — and every still-unseen rect — lies at least (r-1) cell
+  // pitches from p (p sits somewhere inside its own cell, hence the -1).
+  common::FlatMap<RegionId, bool>& seen = scratch.seen;
+  std::vector<Candidate>& ring_regions = scratch.ring;
+  seen.clear();
+  const std::size_t max_ring = grid_dim_;
+  for (std::size_t ring = 0; ring <= max_ring; ++ring) {
+    const double ring_floor =
+        ring == 0 ? 0.0 : (static_cast<double>(ring) - 1.0) * min_pitch;
+    if (!proceed(ring_floor)) return;
+    ring_regions.clear();
+    for (std::size_t cx = pcx >= ring ? pcx - ring : 0;
+         cx <= pcx + ring && cx < grid_dim_; ++cx) {
+      for (std::size_t cy = pcy >= ring ? pcy - ring : 0;
+           cy <= pcy + ring && cy < grid_dim_; ++cy) {
+        const std::size_t dx = cx > pcx ? cx - pcx : pcx - cx;
+        const std::size_t dy = cy > pcy ? cy - pcy : pcy - cy;
+        if ((dx > dy ? dx : dy) != ring) continue;  // interior: prior rings
+        for (const RegionId id : grid_[cell_index(cx, cy)]) {
+          if (!seen.try_emplace(id, true).second) continue;
+          ring_regions.push_back(Candidate{rects_.find(id)->distance_to(p), id});
+        }
+      }
+    }
+    std::sort(ring_regions.begin(), ring_regions.end());
+    for (const Candidate& c : ring_regions) {
+      if (!visit(c.region, c.dist, ring_floor)) return;
+    }
+    if (seen.size() == rects_.size()) return;  // every region visited
+  }
+}
+
+}  // namespace geogrid::overlay

@@ -1,5 +1,6 @@
 #include "services/geolocator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -11,6 +12,16 @@ Point Geolocator::locate(const Point& truth) {
   const double radius = options_.max_error_miles * std::sqrt(rng_.uniform());
   return plane_.clamp(Point{truth.x + radius * std::cos(angle),
                             truth.y + radius * std::sin(angle)});
+}
+
+Rect Geolocator::query_area(const Point& truth, double radius) {
+  if (radius < 0.0) radius = 0.0;
+  const Point center = locate(truth);
+  const double x0 = std::max(plane_.x, center.x - radius);
+  const double y0 = std::max(plane_.y, center.y - radius);
+  const double x1 = std::min(plane_.right(), center.x + radius);
+  const double y1 = std::min(plane_.top(), center.y + radius);
+  return Rect{x0, y0, std::max(0.0, x1 - x0), std::max(0.0, y1 - y0)};
 }
 
 Point Geolocator::random_position() {

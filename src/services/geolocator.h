@@ -30,6 +30,12 @@ class Geolocator {
   /// to place nodes).
   Point random_position();
 
+  /// The rectangular query footprint of a radius-`radius` friend query
+  /// around a user whose true position is `truth`: the circle's bounding
+  /// box centered on the *reported* position (geolocation error shifts the
+  /// query the same way it shifts the report), clamped to the plane.
+  Rect query_area(const Point& truth, double radius);
+
   const Rect& plane() const noexcept { return plane_; }
 
  private:

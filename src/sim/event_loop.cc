@@ -11,6 +11,12 @@ EventHandle EventLoop::schedule_at(Time at, std::function<void()> fn) {
   return EventHandle(std::move(alive));
 }
 
+void EventLoop::schedule_fire_and_forget(Time delay, std::function<void()> fn) {
+  queue_.push(
+      Event{std::max(now_ + delay, now_), next_seq_++, std::move(fn), nullptr});
+  ++live_;
+}
+
 bool EventLoop::step() {
   while (!queue_.empty()) {
     // The queue is a value heap, so move the top out via const_cast-free
@@ -18,8 +24,10 @@ bool EventLoop::step() {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     --live_;
-    if (!*ev.alive) continue;  // cancelled
-    *ev.alive = false;
+    if (ev.alive != nullptr) {  // null: fire-and-forget, cannot be cancelled
+      if (!*ev.alive) continue;  // cancelled
+      *ev.alive = false;
+    }
     now_ = ev.at;
     ++fired_;
     ev.fn();

@@ -51,6 +51,12 @@ class EventLoop {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// No-cancel fast path: schedules `fn` to run `delay` seconds from now
+  /// with no handle and no per-event liveness allocation.  One-shot
+  /// deliveries (the bulk of all events — every simulated message is one)
+  /// go through here; anything that may be cancelled keeps schedule_after.
+  void schedule_fire_and_forget(Time delay, std::function<void()> fn);
+
   /// Fires the next event; returns false when the queue is empty.
   bool step();
 
@@ -65,7 +71,7 @@ class EventLoop {
     Time at;
     std::uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    std::shared_ptr<bool> alive;  ///< null = fire-and-forget (no cancel)
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {

@@ -32,7 +32,7 @@ bool Network::is_attached(NodeId id) const {
 void Network::send(NodeId from, NodeId to, net::Message msg) {
   ++stats_.messages_sent;
   const auto type = net::message_type(msg);
-  ++stats_.per_type[type];
+  ++stats_.per_type[static_cast<std::size_t>(type)];
 
   const auto src = endpoints_.find(from);
   const auto dst = endpoints_.find(to);
@@ -57,7 +57,9 @@ void Network::send(NodeId from, NodeId to, net::Message msg) {
           ? net::decode_message(net::encode_message(msg))
           : std::move(msg));
 
-  loop_.schedule_after(latency, [this, from, to, payload] {
+  // Deliveries are one-shot and never cancelled (a crashed receiver is
+  // checked at fire time), so skip the cancellation-handle allocation.
+  loop_.schedule_fire_and_forget(latency, [this, from, to, payload] {
     auto it = endpoints_.find(to);
     if (it == endpoints_.end() || !it->second.up) {
       ++stats_.messages_dropped;

@@ -10,9 +10,9 @@
 // benches can report management overhead.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <unordered_map>
 
 #include "common/geometry.h"
@@ -51,7 +51,14 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
-  std::map<net::MsgType, std::uint64_t> per_type;
+  /// Sent-message count per type, indexed by the raw MsgType value (wire
+  /// tags are stable protocol constants).  A fixed array keeps the per-send
+  /// accounting to one add with no allocation or tree walk.
+  std::array<std::uint64_t, net::kMsgTypeSlots> per_type{};
+
+  std::uint64_t count(net::MsgType type) const noexcept {
+    return per_type[static_cast<std::size_t>(type)];
+  }
 };
 
 /// The simulated transport.  Single-threaded; owned by the harness next to

@@ -50,6 +50,30 @@ TEST(EventLoop, CancelPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
+TEST(EventLoop, FireAndForgetInterleavesWithHandles) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_fire_and_forget(2.0, [&] { order.push_back(2); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_fire_and_forget(1.0, [&] { order.push_back(10); });
+  loop.schedule_at(3.0, [&] { order.push_back(3); });
+  loop.run();
+  // Same (time, schedule-order) contract as handled events.
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+  EXPECT_EQ(loop.fired(), 4u);
+}
+
+TEST(EventLoop, FireAndForgetClampsPastDelays) {
+  EventLoop loop;
+  double fired_at = -1.0;
+  loop.schedule_at(5.0, [&] {
+    loop.schedule_fire_and_forget(-2.0, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
 TEST(EventLoop, CancelAfterFireIsNoop) {
   EventLoop loop;
   EventHandle h = loop.schedule_at(1.0, [] {});

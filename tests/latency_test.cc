@@ -1,0 +1,62 @@
+// LatencyHistogram: log-scale bucketing, percentile bounds, merging.
+#include "metrics/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace geogrid::metrics {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile_micros(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean_micros(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_micros(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentileUpperBoundsTrueSample) {
+  LatencyHistogram h;
+  // 99 fast samples at ~2us, one slow outlier at ~3000us.
+  for (int i = 0; i < 99; ++i) h.record_micros(2.0);
+  h.record_micros(3000.0);
+  EXPECT_EQ(h.count(), 100u);
+  // Nearest-rank p50/p95 land in the [2,4) bucket; p100 in [2048,4096).
+  EXPECT_DOUBLE_EQ(h.percentile_micros(50), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile_micros(95), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile_micros(100), 4096.0);
+  EXPECT_DOUBLE_EQ(h.max_micros(), 3000.0);
+  // The bucket edge is conservative: at most 2x above the true sample.
+  EXPECT_GE(h.percentile_micros(50), 2.0);
+  EXPECT_LE(h.percentile_micros(50), 2.0 * 2.0);
+}
+
+TEST(LatencyHistogram, SubMicrosecondSamplesLandInBucketZero) {
+  LatencyHistogram h;
+  h.record_micros(0.25);
+  h.record_seconds(1e-9);  // 0.001us
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile_micros(100), 1.0);  // bucket 0 upper edge
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 10; ++i) a.record_micros(3.0);
+  for (int i = 0; i < 10; ++i) b.record_micros(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_DOUBLE_EQ(a.percentile_micros(25), 4.0);
+  EXPECT_DOUBLE_EQ(a.percentile_micros(99), 128.0);
+  EXPECT_DOUBLE_EQ(a.max_micros(), 100.0);
+  EXPECT_NEAR(a.mean_micros(), (10 * 3.0 + 10 * 100.0) / 20.0, 1e-9);
+}
+
+TEST(LatencyHistogram, SummaryMentionsPercentiles) {
+  LatencyHistogram h;
+  h.record_micros(10.0);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geogrid::metrics

@@ -137,8 +137,8 @@ TEST(Network, AccountsTraffic) {
   EXPECT_EQ(s.messages_sent, 2u);
   EXPECT_EQ(s.messages_delivered, 2u);
   EXPECT_GT(s.bytes_sent, 2 * net::kPacketOverheadBytes);
-  EXPECT_EQ(s.per_type.at(net::MsgType::kHeartbeatAck), 1u);
-  EXPECT_EQ(s.per_type.at(net::MsgType::kHeartbeat), 1u);
+  EXPECT_EQ(s.count(net::MsgType::kHeartbeatAck), 1u);
+  EXPECT_EQ(s.count(net::MsgType::kHeartbeat), 1u);
 }
 
 TEST(Network, VerifySerializationPreservesContent) {

@@ -1,0 +1,375 @@
+// QueryEngine: shard/thread-count invariance of batched reads, agreement
+// with the serial per-call read path, resolver correctness, and snapshot
+// isolation under concurrent ingestion.
+#include "mobility/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "mobility/motion.h"
+#include "mobility/sharded_directory.h"
+#include "overlay/region_resolver.h"
+
+namespace geogrid::mobility {
+namespace {
+
+constexpr Rect kPlane{0.0, 0.0, 64.0, 64.0};
+
+// Four quadrant regions via two split rounds (the mobile-layer fixture
+// geometry shared with the ShardedDirectory suite).
+struct QuadrantFixture {
+  overlay::Partition partition{kPlane};
+  QuadrantFixture() {
+    const NodeId a = partition.add_node({NodeId{1}, Point{10, 10}, 10.0});
+    const NodeId b = partition.add_node({NodeId{2}, Point{10, 50}, 10.0});
+    const NodeId c = partition.add_node({NodeId{3}, Point{50, 10}, 10.0});
+    const NodeId d = partition.add_node({NodeId{4}, Point{50, 50}, 10.0});
+    const RegionId root = partition.create_root(a);
+    const RegionId north = partition.split(root, b);
+    partition.split(root, c);
+    partition.split(north, d);
+    EXPECT_EQ(partition.region_count(), 4u);
+  }
+};
+
+std::vector<std::vector<LocationRecord>> make_trace(std::size_t users,
+                                                    int ticks,
+                                                    std::uint64_t seed) {
+  UserPopulation::Options opt;
+  opt.max_pause = 2.0;
+  UserPopulation pop(users, opt, nullptr, Rng(seed));
+  std::vector<std::vector<LocationRecord>> batches;
+  double now = 0.0;
+  for (int step = 0; step < ticks; ++step) {
+    now += 1.0;
+    pop.step(1.0, now);
+    std::vector<LocationRecord> batch;
+    batch.reserve(users);
+    for (auto& u : pop.users()) {
+      batch.push_back({u.id, u.position, u.next_seq++, now});
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+/// A mixed locate/range/kNN workload over the fixture plane.
+std::vector<Query> make_queries(std::size_t count, std::size_t users,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> qs;
+  qs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (i % 3) {
+      case 0:
+        qs.push_back(Query::locate(
+            UserId{static_cast<std::uint32_t>(1 + rng.uniform_index(users))}));
+        break;
+      case 1: {
+        const double w = rng.uniform(0.5, 8.0);
+        const double h = rng.uniform(0.5, 8.0);
+        const double x = rng.uniform(0.0, 64.0 - w);
+        const double y = rng.uniform(0.0, 64.0 - h);
+        qs.push_back(Query::range(Rect{x, y, w, h}));
+        break;
+      }
+      default:
+        qs.push_back(Query::nearest(
+            Point{rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0)},
+            static_cast<std::uint32_t>(1 + rng.uniform_index(16))));
+    }
+  }
+  return qs;
+}
+
+std::vector<std::byte> result_bytes(std::span<const QueryResult> results) {
+  net::Writer w;
+  QueryEngine::serialize(w, results);
+  return std::move(w).take();
+}
+
+std::vector<std::byte> snapshot_bytes(const DirectorySnapshot& snap) {
+  net::Writer w;
+  snap.serialize(w);
+  return std::move(w).take();
+}
+
+TEST(QueryEngine, ResultsInvariantAcrossShardAndThreadCounts) {
+  // The acceptance-criteria test: the same query batch over equivalent
+  // directories must serialize byte-identically for every (shard count,
+  // thread count) combination.
+  QuadrantFixture fx;
+  const auto trace = make_trace(400, 30, 77);
+  const auto queries = make_queries(600, 400, 31);
+
+  std::vector<std::byte> reference;
+  std::vector<std::byte> reference_snapshot;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+    ShardedDirectory dir(fx.partition, {.shards = shards});
+    for (const auto& batch : trace) dir.apply_updates(batch);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      QueryEngine engine(dir, {.threads = threads});
+      EXPECT_EQ(engine.thread_count(), threads);
+      const auto results = engine.run(queries);
+      ASSERT_EQ(results.size(), queries.size());
+      const auto bytes = result_bytes(results);
+      const auto snap_bytes = snapshot_bytes(*dir.current_snapshot());
+      if (reference.empty()) {
+        reference = bytes;
+        reference_snapshot = snap_bytes;
+        EXPECT_GT(engine.counters().locate_hits, 0u);
+        EXPECT_GT(engine.counters().records_returned, 0u);
+      } else {
+        EXPECT_EQ(bytes, reference)
+            << "K=" << shards << " T=" << threads << " diverged";
+        EXPECT_EQ(snap_bytes, reference_snapshot);
+      }
+    }
+  }
+  ASSERT_FALSE(reference.empty());
+}
+
+TEST(QueryEngine, AgreesWithSerialPerCallReadPath) {
+  // Locate answers match ShardedDirectory::locate; range answers hold the
+  // same record multiset as the serial full-region scan; kNN matches the
+  // serial path exactly (both are exact, with the same tie-break).
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4});
+  for (const auto& batch : make_trace(300, 25, 5)) dir.apply_updates(batch);
+  QueryEngine engine(dir, {.threads = 2});
+
+  const auto queries = make_queries(300, 300, 77);
+  const auto results = engine.run(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  const auto sorted = [](std::vector<LocationRecord> v) {
+    std::sort(v.begin(), v.end(),
+              [](const LocationRecord& a, const LocationRecord& b) {
+                return a.user < b.user;
+              });
+    return v;
+  };
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    const QueryResult& r = results[i];
+    ASSERT_EQ(r.kind, q.kind);
+    switch (q.kind) {
+      case Query::Kind::kLocate: {
+        const auto expect = dir.locate(q.user);
+        ASSERT_EQ(r.found, expect.has_value());
+        if (expect) EXPECT_EQ(r.located, *expect);
+        break;
+      }
+      case Query::Kind::kRange:
+        EXPECT_EQ(sorted(r.records), sorted(dir.range(q.rect)));
+        break;
+      case Query::Kind::kNearest: {
+        const auto expect = dir.k_nearest(q.point, q.k);
+        ASSERT_EQ(r.records.size(), expect.size());
+        for (std::size_t j = 0; j < expect.size(); ++j) {
+          EXPECT_EQ(r.records[j], expect[j]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST(QueryEngine, SnapshotsAreImmutableAcrossEpochs) {
+  // A held snapshot keeps answering at its epoch while the directory moves
+  // on; a fresh run() observes the new epoch.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 2});
+  dir.apply_updates(std::vector<LocationRecord>{
+      {UserId{1}, Point{10, 10}, 1, 0.0}});
+  const auto old_snap = dir.publish_snapshot();
+  EXPECT_EQ(old_snap->epoch(), 1u);
+  const auto old_bytes = snapshot_bytes(*old_snap);
+
+  dir.apply_updates(std::vector<LocationRecord>{
+      {UserId{1}, Point{50, 50}, 2, 1.0}});
+  QueryEngine engine(dir, {.threads = 1});
+  const std::vector<Query> q = {Query::locate(UserId{1})};
+
+  const auto stale = engine.run_on(*old_snap, q);
+  ASSERT_TRUE(stale[0].found);
+  EXPECT_EQ(stale[0].located.seq, 1u);
+  EXPECT_EQ(stale[0].located.position, (Point{10, 10}));
+  EXPECT_EQ(engine.counters().last_epoch, 1u);
+
+  const auto fresh = engine.run(q);
+  ASSERT_TRUE(fresh[0].found);
+  EXPECT_EQ(fresh[0].located.seq, 2u);
+  EXPECT_EQ(engine.counters().last_epoch, 2u);
+
+  // The held snapshot did not change underneath the reader.
+  EXPECT_EQ(snapshot_bytes(*old_snap), old_bytes);
+}
+
+TEST(QueryEngine, CleanShardSlicesAreSharedBetweenSnapshots) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 8});
+  for (const auto& batch : make_trace(200, 10, 3)) dir.apply_updates(batch);
+  dir.publish_snapshot();
+  const auto first_copied = dir.counters().snapshot_slices_copied;
+  EXPECT_GT(first_copied, 0u);
+
+  // Publishing again at the same epoch is free.
+  dir.publish_snapshot();
+  EXPECT_EQ(dir.counters().snapshot_slices_copied, first_copied);
+
+  // One user's update dirties at most two shards (target + eviction);
+  // republish must not recopy all eight slices.
+  dir.apply_updates(std::vector<LocationRecord>{
+      {UserId{1}, Point{10, 10}, 1000, 99.0}});
+  dir.publish_snapshot();
+  EXPECT_LE(dir.counters().snapshot_slices_copied, first_copied + 2);
+}
+
+TEST(QueryEngine, ConcurrentIngestNeverTearsASnapshot) {
+  // The isolation contract: while a writer applies single-epoch batches
+  // (every record of batch e carries seq == e) and publishes after each, a
+  // reader racing it must only ever observe snapshots where ALL users
+  // carry one single seq — a mixed-seq view would mean a torn epoch.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4});
+  constexpr std::size_t kUsers = 200;
+  constexpr std::uint64_t kEpochs = 120;
+
+  std::vector<Query> locates;
+  locates.reserve(kUsers);
+  for (std::uint32_t u = 1; u <= kUsers; ++u) {
+    locates.push_back(Query::locate(UserId{u}));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> snapshots_read{0};
+  std::atomic<std::uint64_t> distinct_epochs{0};
+
+  // Epoch 1 lands before the reader starts: the resolver's first rebuild
+  // (and the only one — the geometry is static here) happens writer-side
+  // before any concurrent reads, per the quiesced-geometry contract.
+  Rng rng(9);
+  std::vector<LocationRecord> batch(kUsers);
+  const auto fill_batch = [&](std::uint64_t epoch) {
+    for (std::uint32_t u = 1; u <= kUsers; ++u) {
+      batch[u - 1] = LocationRecord{
+          UserId{u}, Point{rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)},
+          epoch, static_cast<double>(epoch)};
+    }
+  };
+  fill_batch(1);
+  dir.apply_updates(batch);
+  dir.publish_snapshot();
+
+  std::thread reader([&] {
+    QueryEngine engine(dir, {.threads = 1});
+    std::uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = dir.current_snapshot();
+      if (snap == nullptr) continue;
+      const auto results = engine.run_on(*snap, locates);
+      std::uint64_t seen_seq = 0;
+      for (const auto& r : results) {
+        if (!r.found) {
+          ++violations;  // every epoch reports every user
+          continue;
+        }
+        if (seen_seq == 0) seen_seq = r.located.seq;
+        if (r.located.seq != seen_seq) ++violations;
+      }
+      // The single seq equals the snapshot's epoch by construction.
+      if (seen_seq != snap->epoch()) ++violations;
+      if (snap->epoch() != last_epoch) {
+        last_epoch = snap->epoch();
+        ++distinct_epochs;
+      }
+      ++snapshots_read;
+    }
+  });
+
+  for (std::uint64_t epoch = 2; epoch <= kEpochs; ++epoch) {
+    fill_batch(epoch);
+    dir.apply_updates(batch);
+    dir.publish_snapshot();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(snapshots_read.load(), 0u);
+  EXPECT_GE(distinct_epochs.load(), 1u);
+  EXPECT_EQ(dir.current_snapshot()->epoch(), kEpochs);
+}
+
+TEST(RegionResolver, MatchesBruteForceDiscovery) {
+  // intersecting() must return exactly the regions a full scan finds, and
+  // each_by_distance() must visit every region with a valid lower bound.
+  QuadrantFixture fx;
+  overlay::RegionResolver resolver(fx.partition);
+  resolver.refresh();
+  ASSERT_EQ(resolver.region_count(), fx.partition.region_count());
+
+  Rng rng(4);
+  std::vector<RegionId> got;
+  for (int i = 0; i < 200; ++i) {
+    const double w = rng.uniform(0.1, 30.0);
+    const double h = rng.uniform(0.1, 30.0);
+    const Rect rect{rng.uniform(0.0, 64.0 - w), rng.uniform(0.0, 64.0 - h), w,
+                    h};
+    std::vector<RegionId> expect;
+    for (const auto& [id, region] : fx.partition.regions()) {
+      if (region.rect.intersects(rect) || region.rect.edge_adjacent(rect)) {
+        expect.push_back(id);
+      }
+    }
+    std::sort(expect.begin(), expect.end());
+    resolver.intersecting(rect, got);
+    EXPECT_EQ(got, expect);
+  }
+
+  overlay::RegionResolver::NearScratch scratch;
+  for (int i = 0; i < 100; ++i) {
+    const Point p{rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0)};
+    std::size_t visited = 0;
+    double last_floor = 0.0;
+    resolver.each_by_distance(
+        p, scratch,
+        [&](double floor) {
+          // The per-ring bound is monotone non-decreasing.
+          EXPECT_GE(floor, last_floor);
+          last_floor = floor;
+          return true;
+        },
+        [&](RegionId id, double dist, double floor) {
+          // The advertised lower bound must never exceed the exact
+          // distance of any region in the ring it opens.
+          EXPECT_LE(floor, dist + 1e-9);
+          EXPECT_DOUBLE_EQ(dist, fx.partition.region(id).rect.distance_to(p));
+          ++visited;
+          return true;
+        });
+    EXPECT_EQ(visited, fx.partition.region_count());
+  }
+
+  // resolve() agrees with the partition's locate, fast path or not.
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.uniform(0.001, 63.999), rng.uniform(0.001, 63.999)};
+    bool fast = false;
+    const RegionId cold = resolver.resolve(p, kInvalidRegion, &fast);
+    EXPECT_FALSE(fast);
+    EXPECT_EQ(cold, fx.partition.locate(p));
+    fast = false;
+    const RegionId hinted = resolver.resolve(p, cold, &fast);
+    EXPECT_TRUE(fast);
+    EXPECT_EQ(hinted, cold);
+  }
+}
+
+}  // namespace
+}  // namespace geogrid::mobility
