@@ -65,6 +65,7 @@ const char* family_of(net::MsgType type) {
     case T::kSubscribeAck:
     case T::kPublish:
     case T::kNotify:
+    case T::kUnsubscribe:
       return "application";
     case T::kLocationUpdate:
     case T::kLocationUpdateAck:

@@ -13,8 +13,13 @@ to catch order-of-magnitude regressions (an accidental O(n) partition
 walk per update, a lock on the hot path, a region scan sneaking back
 into the batched read path), not 5% jitter.
 
+Keys present on only one side are normally skipped so baselines can be
+refreshed lazily; pass --require KEY (repeatable) for series that must
+exist on both sides — a bench silently dropping its headline series
+should fail the gate, not sail through it.
+
 Usage: check_bench_smoke.py <fresh.json> <baseline.json> [--users N]
-       [--max-drop FRAC]
+       [--max-drop FRAC] [--require KEY]...
 """
 
 import argparse
@@ -37,6 +42,9 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("--users", type=int, default=10_000)
     parser.add_argument("--max-drop", type=float, default=0.30)
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="KEY",
+                        help="series that must be present in both reports")
     args = parser.parse_args()
 
     with open(args.fresh) as f:
@@ -51,6 +59,10 @@ def main():
                     if "per_sec" in k and k in base)
     if not checks:
         raise SystemExit("no shared *per_sec keys between fresh and baseline")
+    missing = [k for k in args.require if k not in fresh or k not in base]
+    if missing:
+        raise SystemExit(
+            f"required series missing from fresh or baseline: {missing}")
 
     failed = False
     for key in checks:

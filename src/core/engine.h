@@ -18,6 +18,7 @@
 #include "mobility/query_engine.h"
 #include "mobility/sharded_directory.h"
 #include "overlay/partition.h"
+#include "pubsub/notification_engine.h"
 #include "overlay/snapshot.h"
 #include "workload/hotspot.h"
 
@@ -65,6 +66,14 @@ class GridSimulation {
   /// engine must not outlive the directory.
   std::unique_ptr<mobility::QueryEngine> make_query_engine(
       mobility::ShardedDirectory& directory) const;
+
+  /// The incremental pub/sub engine over a directory made by
+  /// make_location_directory (set options().track_deltas or the engine
+  /// full-rescans every drain), matching per options().notify_threads.
+  /// Must not outlive the directory or the subscription index.
+  std::unique_ptr<pubsub::NotificationEngine> make_notification_engine(
+      mobility::ShardedDirectory& directory,
+      pubsub::SubscriptionIndex& subs) const;
 
   /// Max/mean/stddev of the per-node workload index (the figures' metric).
   Summary workload_summary() const;

@@ -483,6 +483,8 @@ void GeoGridNode::handle_routed_payload(NodeId from, const net::Routed& env) {
     handle_location_query(*query);
   } else if (const auto* sub = std::get_if<net::Subscribe>(&inner)) {
     handle_subscribe(*sub);
+  } else if (const auto* unsub = std::get_if<net::Unsubscribe>(&inner)) {
+    handle_unsubscribe(*unsub);
   } else if (const auto* pub = std::get_if<net::Publish>(&inner)) {
     handle_publish(*pub);
   } else if (const auto* probe = std::get_if<net::OwnerProbe>(&inner)) {
@@ -528,6 +530,14 @@ std::uint64_t GeoGridNode::subscribe(const Rect& area,
   s.duration = duration;
   route_or_handle(net::make_routed(area.center(), s));
   return s.sub_id;
+}
+
+void GeoGridNode::unsubscribe(std::uint64_t sub_id, const Rect& area) {
+  net::Unsubscribe u;
+  u.sub_id = sub_id;
+  u.subscriber = self_;
+  u.area = area;
+  route_or_handle(net::make_routed(area.center(), u));
 }
 
 void GeoGridNode::publish(const Point& location, const std::string& topic,
@@ -603,6 +613,43 @@ void GeoGridNode::handle_subscribe(const net::Subscribe& s) {
   fanned.disseminated = true;
   for (const auto& [rid, snap] : covering->neighbors) {
     if (snap.rect.intersects(s.area)) {
+      network_.send(self_.id, snap.primary.id, fanned);
+    }
+  }
+}
+
+void GeoGridNode::handle_unsubscribe(const net::Unsubscribe& u) {
+  // Mirror of handle_subscribe: drop the subscription from the covering
+  // region, then fan the cancellation out once to every neighbor region
+  // that may have stored a disseminated copy.
+  OwnedRegion* covering = covering_region(u.area.center());
+  if (covering == nullptr) {
+    for (auto& [rid, region] : owned_) {
+      if (!region.is_primary()) continue;
+      const auto dropped =
+          std::erase_if(region.subscriptions, [&](const StoredSubscription& s) {
+            return s.sub.sub_id == u.sub_id;
+          });
+      if (dropped > 0) {
+        region.app_version += 1;
+        sync_peer(region);
+        return;
+      }
+    }
+    return;
+  }
+  const auto dropped = std::erase_if(
+      covering->subscriptions,
+      [&](const StoredSubscription& s) { return s.sub.sub_id == u.sub_id; });
+  if (dropped > 0) {
+    covering->app_version += 1;
+    sync_peer(*covering);
+  }
+  if (u.disseminated) return;
+  net::Unsubscribe fanned = u;
+  fanned.disseminated = true;
+  for (const auto& [rid, snap] : covering->neighbors) {
+    if (snap.rect.intersects(u.area)) {
       network_.send(self_.id, snap.primary.id, fanned);
     }
   }

@@ -134,6 +134,10 @@ class GeoGridNode : public sim::Process {
   std::uint64_t subscribe(const Rect& area, const std::string& filter,
                           double duration);
 
+  /// Cancels a standing subscription created by subscribe() before its
+  /// duration expires (routed and disseminated like the subscription).
+  void unsubscribe(std::uint64_t sub_id, const Rect& area);
+
   /// Publishes a located datum (information-source role).
   void publish(const Point& location, const std::string& topic,
                const std::string& payload);
@@ -199,6 +203,7 @@ class GeoGridNode : public sim::Process {
   void handle_location_query(const net::LocationQuery& q);
   void handle_subscribe(const net::Subscribe& s);
   void store_subscription(const net::Subscribe& s, OwnedRegion& region);
+  void handle_unsubscribe(const net::Unsubscribe& u);
   void handle_publish(const net::Publish& p);
 
   // Mobile-user handlers.

@@ -1146,6 +1146,8 @@ void GeoGridNode::on_message(NodeId from, const Message& msg) {
           if (on_result) on_result(m);
         } else if constexpr (std::is_same_v<T, net::Subscribe>) {
           handle_subscribe(m);
+        } else if constexpr (std::is_same_v<T, net::Unsubscribe>) {
+          handle_unsubscribe(m);
         } else if constexpr (std::is_same_v<T, net::SubscribeAck>) {
           // Acknowledgement only.
         } else if constexpr (std::is_same_v<T, net::Publish>) {

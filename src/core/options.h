@@ -41,6 +41,15 @@ struct SimulationOptions {
   /// GridSimulation::make_query_engine.  0 = hardware threads, 1 = serial.
   /// Results are thread-count independent by contract.
   std::size_t query_threads = 0;
+  /// Record per-epoch ingest deltas on directories built by
+  /// make_location_directory, feeding the incremental pub/sub path
+  /// (pubsub::NotificationEngine).  Off by default: pure-ingest
+  /// deployments skip the bookkeeping.
+  bool track_deltas = false;
+  /// Worker-thread count of the notification match phase built by
+  /// GridSimulation::make_notification_engine.  0 = hardware threads,
+  /// 1 = serial.  Results are thread-count independent by contract.
+  std::size_t notify_threads = 0;
 };
 
 }  // namespace geogrid::core

@@ -5,6 +5,13 @@
 
 namespace geogrid::mobility {
 
+void DirectorySnapshot::collect_users(std::vector<UserId>& out) const {
+  const std::size_t start = out.size();
+  out.reserve(start + users_.size());
+  users_.for_each([&](UserId id, const UserSlot&) { out.push_back(id); });
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+}
+
 void DirectorySnapshot::serialize(net::Writer& w) const {
   std::vector<std::pair<RegionId, const LocationStore*>> stores;
   for (const auto& slice : slices_) {

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/flat_map.h"
@@ -61,6 +63,20 @@ class DirectorySnapshot {
                     std::vector<std::shared_ptr<const StoreMap>> slices)
       : epoch_(epoch), users_(std::move(users)), slices_(std::move(slices)) {}
 
+  /// Delta-stamped snapshot: `delta` is the sorted deduplicated list of
+  /// users whose record was applied in epochs (delta_base_epoch, epoch],
+  /// or nullopt when that history was not tracked / already trimmed.
+  DirectorySnapshot(std::uint64_t epoch,
+                    common::FlatMap<UserId, UserSlot> users,
+                    std::vector<std::shared_ptr<const StoreMap>> slices,
+                    std::uint64_t delta_base_epoch,
+                    std::optional<std::vector<UserId>> delta)
+      : epoch_(epoch),
+        users_(std::move(users)),
+        slices_(std::move(slices)),
+        delta_base_(delta_base_epoch),
+        delta_(std::move(delta)) {}
+
   /// Ingest epoch (applied-batch count) this snapshot reflects.
   std::uint64_t epoch() const noexcept { return epoch_; }
 
@@ -86,6 +102,24 @@ class DirectorySnapshot {
     return st == nullptr ? std::nullopt : st->locate(user);
   }
 
+  /// Epoch of the previously published snapshot this one's delta is
+  /// relative to; the delta covers exactly (delta_base_epoch, epoch].
+  std::uint64_t delta_base_epoch() const noexcept { return delta_base_; }
+
+  /// Whether this snapshot carries a changed-user delta (the directory
+  /// tracked deltas and retained full history since the base epoch).
+  bool has_delta() const noexcept { return delta_.has_value(); }
+
+  /// Users whose record was applied in (delta_base_epoch, epoch], sorted
+  /// by id, deduplicated.  Empty span when !has_delta().
+  std::span<const UserId> delta() const noexcept {
+    return delta_ ? std::span<const UserId>(*delta_) : std::span<const UserId>{};
+  }
+
+  /// Every user resident at this epoch, sorted by id, appended to `out` —
+  /// the full-rescan fallback for consumers whose delta history was lost.
+  void collect_users(std::vector<UserId>& out) const;
+
   /// Canonical serialization: regions sorted by id, records by user —
   /// identical bytes to ShardedDirectory::serialize at the same epoch.
   void serialize(net::Writer& w) const;
@@ -94,6 +128,8 @@ class DirectorySnapshot {
   std::uint64_t epoch_;
   common::FlatMap<UserId, UserSlot> users_;
   std::vector<std::shared_ptr<const StoreMap>> slices_;
+  std::uint64_t delta_base_ = 0;
+  std::optional<std::vector<UserId>> delta_;
 };
 
 }  // namespace geogrid::mobility

@@ -13,6 +13,9 @@ ShardedDirectory::ShardedDirectory(const overlay::Partition& partition,
                                    Options options)
     : partition_(partition),
       cell_size_(options.cell_size),
+      track_deltas_(options.track_deltas),
+      delta_retention_(options.delta_retention < 1 ? 1
+                                                   : options.delta_retention),
       resolver_(partition),
       pool_(options.shards),
       shards_(pool_.task_count()) {}
@@ -69,6 +72,8 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
 
   // Phase B: serial dispatch — seq guard, handoff evictions, shard queues.
   for (auto& shard : shards_) shard.queue.clear();
+  std::vector<UserId> epoch_users;
+  if (track_deltas_) epoch_users.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const LocationRecord& rec = batch[i];
     const RegionId target = targets_[i];
@@ -100,6 +105,14 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
     state->region = target;
     state->seq = rec.seq;
     ++counters_.updates_applied;
+    if (track_deltas_) epoch_users.push_back(rec.user);
+  }
+  if (track_deltas_ && !epoch_users.empty()) {
+    deltas_.push_back(EpochDelta{counters_.batches, std::move(epoch_users)});
+    while (deltas_.size() > delta_retention_) {
+      delta_floor_ = deltas_.front().epoch;
+      deltas_.pop_front();
+    }
   }
 
   // Phase C: drain every shard queue in dispatch order, one worker each.
@@ -194,6 +207,26 @@ std::vector<LocationRecord> ShardedDirectory::k_nearest(const Point& p,
   return best;
 }
 
+std::optional<std::vector<UserId>> ShardedDirectory::changed_since(
+    std::uint64_t since_epoch) const {
+  if (!track_deltas_ || since_epoch < delta_floor_) return std::nullopt;
+  std::vector<UserId> out;
+  for (const EpochDelta& d : deltas_) {
+    if (d.epoch <= since_epoch) continue;
+    out.insert(out.end(), d.users.begin(), d.users.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void ShardedDirectory::trim_deltas(std::uint64_t epoch) {
+  while (!deltas_.empty() && deltas_.front().epoch <= epoch) {
+    deltas_.pop_front();
+  }
+  if (epoch > delta_floor_) delta_floor_ = epoch;
+}
+
 std::shared_ptr<const DirectorySnapshot> ShardedDirectory::publish_snapshot() {
   if (published_ != nullptr && published_->epoch() == ingest_epoch()) {
     return published_;
@@ -217,8 +250,14 @@ std::shared_ptr<const DirectorySnapshot> ShardedDirectory::publish_snapshot() {
     counters_.snapshot_slices_copied += c;
   }
   ++counters_.snapshots_published;
+  // Stamp the snapshot with the changed-user set since the previously
+  // published epoch, so snapshot consumers get the delta without touching
+  // the (mutable) directory again.
+  const std::uint64_t base_epoch =
+      published_ == nullptr ? 0 : published_->epoch();
   auto snap = std::make_shared<const DirectorySnapshot>(
-      ingest_epoch(), user_state_, slice_cache_);
+      ingest_epoch(), user_state_, slice_cache_, base_epoch,
+      changed_since(base_epoch));
   {
     std::lock_guard lock(snapshot_mutex_);
     published_ = snap;

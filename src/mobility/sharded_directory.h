@@ -51,6 +51,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -76,6 +77,14 @@ class ShardedDirectory {
     /// worker threads are spawned, matching the single-threaded engine).
     std::size_t shards = 0;
     double cell_size = 1.0;
+    /// Record the per-epoch list of users whose record was applied, so
+    /// incremental consumers (pubsub::NotificationEngine) can match only
+    /// the ingest delta instead of rescanning the population.  Off by
+    /// default: the hot ingest path stays byte-for-byte untouched.
+    bool track_deltas = false;
+    /// Epochs of delta history retained before the oldest list is
+    /// discarded; a consumer that fell further behind must full-rescan.
+    std::size_t delta_retention = 1024;
   };
 
   struct Counters {
@@ -143,6 +152,36 @@ class ShardedDirectory {
   /// Ingest epoch: number of non-empty batches applied so far.
   std::uint64_t ingest_epoch() const noexcept { return counters_.batches; }
 
+  /// One ingest epoch's applied-user list, in dispatch order (a user whose
+  /// record was applied twice in one batch appears twice).
+  struct EpochDelta {
+    std::uint64_t epoch = 0;
+    std::vector<UserId> users;
+  };
+
+  bool tracks_deltas() const noexcept { return track_deltas_; }
+
+  /// Retained per-epoch applied-user lists, oldest first.  Always empty
+  /// unless Options::track_deltas; epochs where every record was rejected
+  /// by the seq guard contribute no entry.
+  const std::deque<EpochDelta>& epoch_deltas() const noexcept {
+    return deltas_;
+  }
+
+  /// Highest epoch whose delta has been discarded (0 = full history kept).
+  std::uint64_t delta_floor() const noexcept { return delta_floor_; }
+
+  /// Sorted, deduplicated union of every user applied in epochs
+  /// (since_epoch, ingest_epoch()].  nullopt when since_epoch predates the
+  /// retained history (or deltas are not tracked): the caller must fall
+  /// back to a full rescan.
+  std::optional<std::vector<UserId>> changed_since(
+      std::uint64_t since_epoch) const;
+
+  /// Discards delta history up to and including `epoch`.  A consumer that
+  /// drained through `epoch` calls this to bound retained memory.
+  void trim_deltas(std::uint64_t epoch);
+
   std::size_t size() const noexcept { return user_state_.size(); }
   std::size_t shard_count() const noexcept { return shards_.size(); }
   const Counters& counters() const noexcept { return counters_; }
@@ -179,6 +218,8 @@ class ShardedDirectory {
 
   const overlay::Partition& partition_;
   double cell_size_;
+  bool track_deltas_;
+  std::size_t delta_retention_;
 
   // Dispatcher state (touched only between batch barriers).
   common::FlatMap<UserId, UserSlot> user_state_;
@@ -189,6 +230,11 @@ class ShardedDirectory {
   /// users up front and open addressing never moves slots on insert.
   std::vector<UserSlot*> states_;
   Counters counters_;
+
+  // Delta history (dispatcher state): one applied-user list per tracked
+  // epoch, bounded by delta_retention_; delta_floor_ marks trimmed history.
+  std::deque<EpochDelta> deltas_;
+  std::uint64_t delta_floor_ = 0;
 
   common::WorkerPool pool_;
   std::vector<Shard> shards_;

@@ -62,6 +62,7 @@ std::string_view message_name(MsgType type) {
     case MsgType::kSubscribeAck: return "SubscribeAck";
     case MsgType::kPublish: return "Publish";
     case MsgType::kNotify: return "Notify";
+    case MsgType::kUnsubscribe: return "Unsubscribe";
     case MsgType::kLocationUpdate: return "LocationUpdate";
     case MsgType::kLocationUpdateAck: return "LocationUpdateAck";
     case MsgType::kUserHandoff: return "UserHandoff";

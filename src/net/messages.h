@@ -74,6 +74,7 @@ enum class MsgType : std::uint16_t {
   kSubscribeAck = 83,
   kPublish = 84,
   kNotify = 85,
+  kUnsubscribe = 86,
   // Mobile-user layer.
   kLocationUpdate = 90,
   kLocationUpdateAck = 91,
@@ -835,6 +836,32 @@ struct Notify {
   }
 };
 
+/// Cancels a standing subscription before its duration expires.  Carries
+/// the original area so it can be routed and disseminated to exactly the
+/// regions that stored the subscription.
+struct Unsubscribe {
+  static constexpr MsgType kType = MsgType::kUnsubscribe;
+  std::uint64_t sub_id = 0;
+  NodeInfo subscriber;
+  Rect area;
+  bool disseminated = false;
+
+  void encode(Writer& w) const {
+    w.u64(sub_id);
+    subscriber.encode(w);
+    w.rect(area);
+    w.boolean(disseminated);
+  }
+  static Unsubscribe decode(Reader& r) {
+    Unsubscribe m;
+    m.sub_id = r.u64();
+    m.subscriber = NodeInfo::decode(r);
+    m.area = r.rect();
+    m.disseminated = r.boolean();
+    return m;
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Mobile-user layer.
 // ---------------------------------------------------------------------------
@@ -992,8 +1019,9 @@ using Message = std::variant<
     StealSecondaryReject, SwitchRequest, SwitchGrant, SwitchReject,
     MergeRequest, MergeGrant, MergeReject, SplitRegionNotice,
     TtlSearchRequest, TtlSearchReply, OwnerProbe, Routed, LocationQuery,
-    QueryResult, Subscribe, SubscribeAck, Publish, Notify, LocationUpdate,
-    LocationUpdateAck, UserHandoff, LocateRequest, LocateReply>;
+    QueryResult, Subscribe, SubscribeAck, Publish, Notify, Unsubscribe,
+    LocationUpdate, LocationUpdateAck, UserHandoff, LocateRequest,
+    LocateReply>;
 
 /// Wire tag of a message held in the variant.
 MsgType message_type(const Message& m);

@@ -8,15 +8,6 @@ namespace geogrid::overlay {
 RegionResolver::RegionResolver(const Partition& partition)
     : partition_(partition) {}
 
-std::size_t RegionResolver::clamp_cell(double v, double origin,
-                                       double pitch) const noexcept {
-  if (pitch <= 0.0) return 0;
-  const double cell = std::floor((v - origin) / pitch);
-  if (cell < 0.0) return 0;
-  const auto c = static_cast<std::size_t>(cell);
-  return c >= grid_dim_ ? grid_dim_ - 1 : c;
-}
-
 void RegionResolver::refresh() {
   if (partition_.geometry_version() == version_) return;
   rebuild();
@@ -30,23 +21,21 @@ void RegionResolver::rebuild() {
 
   // sqrt(R) cells per axis: a region averages O(1) covered cells and a
   // cell averages O(1) resident regions at every partition size.
-  grid_dim_ = 1;
-  while (grid_dim_ * grid_dim_ < count) ++grid_dim_;
-  const Rect& plane = partition_.plane();
-  cell_w_ = plane.width / static_cast<double>(grid_dim_);
-  cell_h_ = plane.height / static_cast<double>(grid_dim_);
-  grid_.assign(grid_dim_ * grid_dim_, {});
+  std::size_t dim = 1;
+  while (dim * dim < count) ++dim;
+  spec_ = UniformGridSpec::over(partition_.plane(), dim);
+  grid_.assign(spec_.cell_count(), {});
 
   for (const auto& [id, region] : partition_.regions()) {
     rects_[id] = region.rect;
     const Rect& r = region.rect;
-    const std::size_t x0 = clamp_cell(r.x, plane.x, cell_w_);
-    const std::size_t x1 = clamp_cell(r.right(), plane.x, cell_w_);
-    const std::size_t y0 = clamp_cell(r.y, plane.y, cell_h_);
-    const std::size_t y1 = clamp_cell(r.top(), plane.y, cell_h_);
+    const std::size_t x0 = spec_.cell_x(r.x);
+    const std::size_t x1 = spec_.cell_x(r.right());
+    const std::size_t y0 = spec_.cell_y(r.y);
+    const std::size_t y1 = spec_.cell_y(r.top());
     for (std::size_t cx = x0; cx <= x1; ++cx) {
       for (std::size_t cy = y0; cy <= y1; ++cy) {
-        grid_[cell_index(cx, cy)].push_back(id);
+        grid_[spec_.index(cx, cy)].push_back(id);
       }
     }
   }
@@ -77,20 +66,19 @@ void RegionResolver::intersecting(const Rect& rect,
                                   std::vector<RegionId>& out) const {
   out.clear();
   if (rects_.empty()) return;
-  const Rect& plane = partition_.plane();
   // One-cell margin each way so regions merely edge-adjacent to `rect`
   // (whose area may lie wholly in the next cell when the rect edge sits on
   // a cell boundary) still enter the candidate set; the exact test below
   // keeps the result identical to a full region scan.
-  const std::size_t x0r = clamp_cell(rect.x, plane.x, cell_w_);
-  const std::size_t y0r = clamp_cell(rect.y, plane.y, cell_h_);
+  const std::size_t x0r = spec_.cell_x(rect.x);
+  const std::size_t y0r = spec_.cell_y(rect.y);
   const std::size_t x0 = x0r > 0 ? x0r - 1 : 0;
-  const std::size_t x1 = clamp_cell(rect.right(), plane.x, cell_w_) + 1;
+  const std::size_t x1 = spec_.cell_x(rect.right()) + 1;
   const std::size_t y0 = y0r > 0 ? y0r - 1 : 0;
-  const std::size_t y1 = clamp_cell(rect.top(), plane.y, cell_h_) + 1;
-  for (std::size_t cx = x0; cx <= x1 && cx < grid_dim_; ++cx) {
-    for (std::size_t cy = y0; cy <= y1 && cy < grid_dim_; ++cy) {
-      for (const RegionId id : grid_[cell_index(cx, cy)]) {
+  const std::size_t y1 = spec_.cell_y(rect.top()) + 1;
+  for (std::size_t cx = x0; cx <= x1 && cx < spec_.dim; ++cx) {
+    for (std::size_t cy = y0; cy <= y1 && cy < spec_.dim; ++cy) {
+      for (const RegionId id : grid_[spec_.index(cx, cy)]) {
         const Rect& r = *rects_.find(id);
         if (r.intersects(rect) || r.edge_adjacent(rect)) out.push_back(id);
       }

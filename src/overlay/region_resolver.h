@@ -34,6 +34,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -43,6 +44,48 @@
 #include "overlay/partition.h"
 
 namespace geogrid::overlay {
+
+/// Geometry of a uniform grid laid over a plane rectangle: dimension plus
+/// per-axis cell pitch, with clamped point -> cell mapping.  Shared by the
+/// region grid below and pubsub::SubscriptionIndex, so every plane-wide
+/// spatial index buckets coordinates identically (same clamping, same
+/// row-major cell keys).
+struct UniformGridSpec {
+  std::size_t dim = 1;
+  Rect plane{};
+  double cell_w = 0.0;
+  double cell_h = 0.0;
+
+  static UniformGridSpec over(const Rect& plane, std::size_t dim) {
+    UniformGridSpec s;
+    s.dim = dim < 1 ? 1 : dim;
+    s.plane = plane;
+    s.cell_w = plane.width / static_cast<double>(s.dim);
+    s.cell_h = plane.height / static_cast<double>(s.dim);
+    return s;
+  }
+
+  /// Clamped cell coordinate along one axis (out-of-plane points land in
+  /// the border cells, so every point maps to a valid cell).
+  std::size_t clamp_cell(double v, double origin,
+                         double pitch) const noexcept {
+    if (pitch <= 0.0) return 0;
+    const double cell = std::floor((v - origin) / pitch);
+    if (cell < 0.0) return 0;
+    const auto c = static_cast<std::size_t>(cell);
+    return c >= dim ? dim - 1 : c;
+  }
+  std::size_t cell_x(double x) const noexcept {
+    return clamp_cell(x, plane.x, cell_w);
+  }
+  std::size_t cell_y(double y) const noexcept {
+    return clamp_cell(y, plane.y, cell_h);
+  }
+  std::size_t index(std::size_t cx, std::size_t cy) const noexcept {
+    return cy * dim + cx;
+  }
+  std::size_t cell_count() const noexcept { return dim * dim; }
+};
 
 class RegionResolver {
  public:
@@ -102,10 +145,6 @@ class RegionResolver {
   std::uint64_t cached_geometry_version() const noexcept { return version_; }
 
  private:
-  std::size_t cell_index(std::size_t cx, std::size_t cy) const noexcept {
-    return cy * grid_dim_ + cx;
-  }
-  std::size_t clamp_cell(double v, double origin, double pitch) const noexcept;
   void rebuild();
 
   const Partition& partition_;
@@ -115,9 +154,7 @@ class RegionResolver {
   // Uniform grid over the plane bucketing region ids by rect overlap.
   // Dimension tracks sqrt(R) so a typical region covers O(1) cells and a
   // typical cell holds O(1) regions regardless of partition size.
-  std::size_t grid_dim_ = 1;
-  double cell_w_ = 0.0;
-  double cell_h_ = 0.0;
+  UniformGridSpec spec_ = UniformGridSpec::over(Rect{}, 1);
   std::vector<std::vector<RegionId>> grid_;
 };
 
@@ -126,10 +163,9 @@ void RegionResolver::each_by_distance(const Point& p, NearScratch& scratch,
                                       Proceed&& proceed,
                                       Visitor&& visit) const {
   if (rects_.empty()) return;
-  const Rect& plane = partition_.plane();
-  const std::size_t pcx = clamp_cell(p.x, plane.x, cell_w_);
-  const std::size_t pcy = clamp_cell(p.y, plane.y, cell_h_);
-  const double min_pitch = cell_w_ < cell_h_ ? cell_w_ : cell_h_;
+  const std::size_t pcx = spec_.cell_x(p.x);
+  const std::size_t pcy = spec_.cell_y(p.y);
+  const double min_pitch = spec_.cell_w < spec_.cell_h ? spec_.cell_w : spec_.cell_h;
 
   // A region first seen in ring r overlaps no cell of any smaller ring, so
   // its rect — and every still-unseen rect — lies at least (r-1) cell
@@ -137,20 +173,20 @@ void RegionResolver::each_by_distance(const Point& p, NearScratch& scratch,
   common::FlatMap<RegionId, bool>& seen = scratch.seen;
   std::vector<Candidate>& ring_regions = scratch.ring;
   seen.clear();
-  const std::size_t max_ring = grid_dim_;
+  const std::size_t max_ring = spec_.dim;
   for (std::size_t ring = 0; ring <= max_ring; ++ring) {
     const double ring_floor =
         ring == 0 ? 0.0 : (static_cast<double>(ring) - 1.0) * min_pitch;
     if (!proceed(ring_floor)) return;
     ring_regions.clear();
     for (std::size_t cx = pcx >= ring ? pcx - ring : 0;
-         cx <= pcx + ring && cx < grid_dim_; ++cx) {
+         cx <= pcx + ring && cx < spec_.dim; ++cx) {
       for (std::size_t cy = pcy >= ring ? pcy - ring : 0;
-           cy <= pcy + ring && cy < grid_dim_; ++cy) {
+           cy <= pcy + ring && cy < spec_.dim; ++cy) {
         const std::size_t dx = cx > pcx ? cx - pcx : pcx - cx;
         const std::size_t dy = cy > pcy ? cy - pcy : pcy - cy;
         if ((dx > dy ? dx : dy) != ring) continue;  // interior: prior rings
-        for (const RegionId id : grid_[cell_index(cx, cy)]) {
+        for (const RegionId id : grid_[spec_.index(cx, cy)]) {
           if (!seen.try_emplace(id, true).second) continue;
           ring_regions.push_back(Candidate{rects_.find(id)->distance_to(p), id});
         }

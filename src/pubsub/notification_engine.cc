@@ -1,0 +1,219 @@
+#include "pubsub/notification_engine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+namespace geogrid::pubsub {
+namespace {
+
+double now_micros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* event_name(NotifyEvent e) {
+  switch (e) {
+    case NotifyEvent::kEnter: return "enter";
+    case NotifyEvent::kLeave: return "leave";
+    case NotifyEvent::kMove: return "move";
+  }
+  return "?";
+}
+
+}  // namespace
+
+NotificationEngine::NotificationEngine(mobility::ShardedDirectory& directory,
+                                       SubscriptionIndex& subs)
+    : NotificationEngine(directory, subs, Options{}) {}
+
+NotificationEngine::NotificationEngine(mobility::ShardedDirectory& directory,
+                                       SubscriptionIndex& subs,
+                                       Options options)
+    : directory_(directory),
+      subs_(subs),
+      options_(options),
+      pool_(options.threads) {}
+
+std::vector<Notification> NotificationEngine::drain() {
+  subs_.refresh();
+  const std::shared_ptr<const mobility::DirectorySnapshot> snap =
+      directory_.publish_snapshot();
+  ++counters_.drains;
+  if (snap == nullptr) return {};
+  counters_.last_epoch = snap->epoch();
+  if (last_ != nullptr && snap->epoch() == last_->epoch()) return {};
+
+  // The candidate set: users whose record changed in (last epoch, epoch].
+  // Preference order — the snapshot's own stamped delta, the directory's
+  // retained history, then the full-rescan fallback (which also serves the
+  // first drain, where every resident user is new).
+  std::vector<UserId> fallback;
+  std::span<const UserId> delta;
+  if (last_ == nullptr) {
+    snap->collect_users(fallback);
+    delta = fallback;
+  } else if (snap->has_delta() && snap->delta_base_epoch() == last_->epoch()) {
+    delta = snap->delta();
+  } else {
+    std::optional<std::vector<UserId>> changed =
+        directory_.changed_since(last_->epoch());
+    if (changed.has_value()) {
+      fallback = std::move(*changed);
+    } else {
+      ++counters_.full_rescans;
+      snap->collect_users(fallback);
+    }
+    delta = fallback;
+  }
+  counters_.delta_users += delta.size();
+
+  const mobility::DirectorySnapshot* prev = last_.get();
+  std::vector<Notification> out;
+  if (!delta.empty()) {
+    // Static contiguous chunks, per-task scratch/output/tallies, partials
+    // concatenated in task order: the QueryEngine determinism recipe.
+    const std::size_t tasks = pool_.task_count();
+    if (tasks == 1) {
+      Scratch scratch;
+      metrics::LatencyHistogram hist;
+      for (const UserId user : delta) {
+        const double t0 = now_micros();
+        match_user(user, *snap, prev, out, scratch, counters_);
+        hist.record_micros(now_micros() - t0);
+      }
+      match_hist_.merge(hist);
+    } else {
+      std::vector<std::vector<Notification>> parts(tasks);
+      std::vector<Counters> tallies(tasks);
+      std::vector<metrics::LatencyHistogram> hists(tasks);
+      pool_.run([&](std::size_t t) {
+        const std::size_t lo = delta.size() * t / tasks;
+        const std::size_t hi = delta.size() * (t + 1) / tasks;
+        Scratch scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double t0 = now_micros();
+          match_user(delta[i], *snap, prev, parts[t], scratch, tallies[t]);
+          hists[t].record_micros(now_micros() - t0);
+        }
+      });
+      std::size_t total = 0;
+      for (const auto& p : parts) total += p.size();
+      out.reserve(total);
+      for (std::size_t t = 0; t < tasks; ++t) {
+        out.insert(out.end(), parts[t].begin(), parts[t].end());
+        counters_.stationary_skips += tallies[t].stationary_skips;
+        counters_.notifications += tallies[t].notifications;
+        counters_.enters += tallies[t].enters;
+        counters_.leaves += tallies[t].leaves;
+        counters_.moves += tallies[t].moves;
+        counters_.friend_events += tallies[t].friend_events;
+        match_hist_.merge(hists[t]);
+      }
+    }
+  }
+
+  last_ = snap;
+  if (options_.trim_consumed && directory_.tracks_deltas()) {
+    directory_.trim_deltas(snap->epoch());
+  }
+  return out;
+}
+
+void NotificationEngine::match_user(UserId user,
+                                    const mobility::DirectorySnapshot& cur,
+                                    const mobility::DirectorySnapshot* prev,
+                                    std::vector<Notification>& out,
+                                    Scratch& scratch, Counters& c) const {
+  const std::optional<mobility::LocationRecord> cur_rec = cur.locate(user);
+  if (!cur_rec.has_value()) return;  // never resident at this epoch
+  const std::optional<mobility::LocationRecord> prev_rec =
+      prev == nullptr ? std::nullopt : prev->locate(user);
+  const bool has_prev = prev_rec.has_value();
+  if (has_prev && prev_rec->position == cur_rec->position) {
+    // Re-applied at the same position (paused user re-reporting): no
+    // boundary crossed, no motion to report.
+    ++c.stationary_skips;
+    return;
+  }
+  const Point cur_pos = cur_rec->position;
+
+  if (has_prev) {
+    subs_.covering(prev_rec->position, scratch.prev_slots);
+  } else {
+    scratch.prev_slots.clear();
+  }
+  subs_.covering(cur_pos, scratch.cur_slots);
+
+  // Merge the two ascending-id slot lists: prev-only = leave, cur-only =
+  // enter, both = move (range subscriptions only).
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < scratch.prev_slots.size() || j < scratch.cur_slots.size()) {
+    const std::uint64_t pid = i < scratch.prev_slots.size()
+                                  ? subs_.at(scratch.prev_slots[i]).id
+                                  : ~std::uint64_t{0};
+    const std::uint64_t cid = j < scratch.cur_slots.size()
+                                  ? subs_.at(scratch.cur_slots[j]).id
+                                  : ~std::uint64_t{0};
+    if (pid < cid) {
+      out.push_back(Notification{pid, user, NotifyEvent::kLeave, cur_pos});
+      ++c.leaves;
+      ++c.notifications;
+      ++i;
+    } else if (cid < pid) {
+      out.push_back(Notification{cid, user, NotifyEvent::kEnter, cur_pos});
+      ++c.enters;
+      ++c.notifications;
+      ++j;
+    } else {
+      if (subs_.at(scratch.cur_slots[j]).kind == SubKind::kRange) {
+        out.push_back(Notification{cid, user, NotifyEvent::kMove, cur_pos});
+        ++c.moves;
+        ++c.notifications;
+      }
+      ++i;
+      ++j;
+    }
+  }
+
+  // Friend subscriptions tracking this user: enter on first appearance,
+  // move on every later position change.
+  if (const auto* friends = subs_.friends_of(user)) {
+    const NotifyEvent event =
+        has_prev ? NotifyEvent::kMove : NotifyEvent::kEnter;
+    for (const auto& [id, slot] : *friends) {
+      out.push_back(Notification{id, user, event, cur_pos});
+      ++c.friend_events;
+      ++c.notifications;
+      if (event == NotifyEvent::kEnter) {
+        ++c.enters;
+      } else {
+        ++c.moves;
+      }
+    }
+  }
+}
+
+net::Notify NotificationEngine::to_notify(const Notification& n) const {
+  net::Notify msg;
+  msg.sub_id = n.sub_id;
+  if (const Subscription* sub = subs_.find(n.sub_id)) {
+    msg.topic = sub->filter;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s u%u @(%.6f, %.6f)", event_name(n.event),
+                n.user.value, n.position.x, n.position.y);
+  msg.payload = buf;
+  return msg;
+}
+
+void NotificationEngine::serialize(net::Writer& w,
+                                   std::span<const Notification> batch) {
+  w.varint(batch.size());
+  for (const Notification& n : batch) n.encode(w);
+}
+
+}  // namespace geogrid::pubsub

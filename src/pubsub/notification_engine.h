@@ -1,0 +1,163 @@
+// Incremental notification engine: per-epoch ingest deltas matched against
+// standing subscriptions.
+//
+// The re-query world answers "who should be notified this tick" by running
+// every standing subscription as a fresh range query — O(S x query) per
+// epoch even when almost nobody moved.  NotificationEngine inverts the
+// join: each drain() publishes the directory's snapshot, takes the set of
+// users whose record changed since the previously drained epoch (the
+// ingest delta ShardedDirectory tracks), and matches only those users
+// against the SubscriptionIndex.  Work per epoch is O(moved users x
+// covering subscriptions) — independent of the resident subscription
+// count and of the population that stood still.
+//
+// Event semantics per subscription kind, derived from the user's previous
+// (last drained epoch) and current positions:
+//
+//   * geofence — kEnter when the area covers cur but not prev; kLeave when
+//     it covers prev but not cur.
+//   * range    — geofence events plus kMove when the area covers both and
+//     the position changed (continuous tracking inside the area).
+//   * friend   — kEnter when the tracked user first appears, kMove on
+//     every later position change; no geometry, never leaves.
+//
+// A user whose record was re-applied at the same position (paused user
+// re-reporting) crossed no boundary and moved no distance: skipped.
+//
+// Determinism contract, matching the rest of the pipeline: the delta is a
+// sorted deduplicated user list (identical for every shard count — phase-B
+// dispatch-order differences are erased by the sort), matching fans out in
+// contiguous static chunks over a WorkerPool with per-task scratch and
+// output buffers concatenated in task order, and per-user events emit in
+// ascending sub-id order (rect matches first, then friend matches).  The
+// serialized notification stream is therefore byte-identical across shard
+// and thread counts — bench_notifications aborts on divergence.
+//
+// Fallbacks: when the engine fell behind the directory's retained delta
+// history (or deltas are not tracked), drain() rescans every resident
+// user — the full-rescan path the incremental one is benchmarked against.
+// The first drain has no previous epoch, so every resident user is new
+// and geofence/range subscriptions fire enters only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/worker_pool.h"
+#include "metrics/latency.h"
+#include "mobility/directory_snapshot.h"
+#include "mobility/sharded_directory.h"
+#include "net/codec.h"
+#include "net/messages.h"
+#include "pubsub/subscription_index.h"
+
+namespace geogrid::pubsub {
+
+/// What happened relative to one subscription.
+enum class NotifyEvent : std::uint8_t {
+  kEnter = 0,
+  kLeave = 1,
+  kMove = 2,
+};
+
+/// One emitted notification: subscription x user x event at the user's
+/// current position.
+struct Notification {
+  std::uint64_t sub_id = 0;
+  UserId user{};
+  NotifyEvent event = NotifyEvent::kEnter;
+  Point position{};
+
+  friend bool operator==(const Notification&, const Notification&) = default;
+
+  /// Canonical encoding — the unit the divergence abort compares.
+  void encode(net::Writer& w) const {
+    w.u64(sub_id);
+    w.user_id(user);
+    w.u8(static_cast<std::uint8_t>(event));
+    w.point(position);
+  }
+};
+
+class NotificationEngine {
+ public:
+  struct Options {
+    /// Match fan-out.  0 = hardware threads; 1 = fully serial.  Emitted
+    /// notifications never depend on this.
+    std::size_t threads = 0;
+    /// Release the directory's delta history for epochs this engine has
+    /// consumed (single-consumer deployments; turn off when several
+    /// engines drain one directory).
+    bool trim_consumed = true;
+  };
+
+  struct Counters {
+    std::uint64_t drains = 0;
+    std::uint64_t delta_users = 0;      ///< candidate users matched
+    std::uint64_t stationary_skips = 0; ///< re-applied at the same position
+    std::uint64_t notifications = 0;
+    std::uint64_t enters = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t moves = 0;
+    std::uint64_t friend_events = 0;
+    std::uint64_t full_rescans = 0;  ///< delta history lost -> rescan
+    std::uint64_t last_epoch = 0;    ///< epoch of the last drained snapshot
+  };
+
+  /// The engine publishes snapshots through `directory` and matches
+  /// against `subs`.  Mutating the index between drains is the caller's
+  /// (single-threaded) business; drain() itself calls subs.refresh().
+  NotificationEngine(mobility::ShardedDirectory& directory,
+                     SubscriptionIndex& subs);
+  NotificationEngine(mobility::ShardedDirectory& directory,
+                     SubscriptionIndex& subs, Options options);
+
+  /// Publishes (or reuses) the directory's snapshot at the current ingest
+  /// epoch and emits every notification implied by the movement since the
+  /// previously drained epoch.  Writer-side: must not overlap
+  /// apply_updates, like publish_snapshot itself.
+  std::vector<Notification> drain();
+
+  /// Translates an emitted notification onto the existing wire message
+  /// (topic = the subscription's filter).  Off the hot path.
+  net::Notify to_notify(const Notification& n) const;
+
+  std::size_t thread_count() const noexcept { return pool_.task_count(); }
+  const Counters& counters() const noexcept { return counters_; }
+
+  /// Per-user match latency across all drains (merged from the per-task
+  /// histograms after each drain).
+  const metrics::LatencyHistogram& match_latency() const noexcept {
+    return match_hist_;
+  }
+
+  /// Canonical serialization of one drained batch: count then each
+  /// notification in emission order.
+  static void serialize(net::Writer& w, std::span<const Notification> batch);
+
+ private:
+  /// Per-task working state: covering-probe outputs reused across the
+  /// whole chunk.
+  struct Scratch {
+    std::vector<std::uint32_t> prev_slots;
+    std::vector<std::uint32_t> cur_slots;
+  };
+
+  void match_user(UserId user, const mobility::DirectorySnapshot& cur,
+                  const mobility::DirectorySnapshot* prev,
+                  std::vector<Notification>& out, Scratch& scratch,
+                  Counters& c) const;
+
+  mobility::ShardedDirectory& directory_;
+  SubscriptionIndex& subs_;
+  Options options_;
+  Counters counters_;
+  metrics::LatencyHistogram match_hist_;
+  common::WorkerPool pool_;
+  std::shared_ptr<const mobility::DirectorySnapshot> last_;
+};
+
+}  // namespace geogrid::pubsub

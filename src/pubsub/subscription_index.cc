@@ -1,0 +1,235 @@
+#include "pubsub/subscription_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace geogrid::pubsub {
+namespace {
+
+using Entry = std::pair<std::uint64_t, std::uint32_t>;
+
+std::vector<Entry>::iterator lower_bound_id(std::vector<Entry>& v,
+                                            std::uint64_t id) {
+  return std::lower_bound(
+      v.begin(), v.end(), id,
+      [](const Entry& e, std::uint64_t key) { return e.first < key; });
+}
+
+}  // namespace
+
+void SubscriptionIndex::subscribe(const net::Subscribe& msg, SubKind kind) {
+  Subscription sub;
+  sub.id = msg.sub_id;
+  sub.kind = kind == SubKind::kFriend ? SubKind::kGeofence : kind;
+  sub.area = msg.area;
+  sub.subscriber = msg.subscriber.id;
+  sub.filter = msg.filter;
+  insert(std::move(sub));
+}
+
+void SubscriptionIndex::subscribe_friend(const net::Subscribe& msg,
+                                         UserId friend_user) {
+  Subscription sub;
+  sub.id = msg.sub_id;
+  sub.kind = SubKind::kFriend;
+  sub.friend_user = friend_user;
+  sub.subscriber = msg.subscriber.id;
+  sub.filter = msg.filter;
+  insert(std::move(sub));
+}
+
+void SubscriptionIndex::insert(Subscription sub) {
+  if (index_.find(sub.id) != nullptr) unsubscribe(sub.id);
+  const auto slot = static_cast<std::uint32_t>(subs_.size());
+  *index_.try_emplace(sub.id).first = slot;
+  subs_.push_back(std::move(sub));
+  const Subscription& s = subs_.back();
+  if (s.kind == SubKind::kFriend) {
+    friends_insert(s, slot);
+  } else {
+    ++rect_count_;
+    grid_insert(s, slot);
+  }
+}
+
+bool SubscriptionIndex::unsubscribe(std::uint64_t sub_id) {
+  const std::uint32_t* found = index_.find(sub_id);
+  if (found == nullptr) return false;
+  const std::uint32_t slot = *found;
+  {
+    const Subscription& s = subs_[slot];
+    if (s.kind == SubKind::kFriend) {
+      friends_remove(s);
+    } else {
+      grid_remove(s, slot);
+      --rect_count_;
+    }
+  }
+  index_.erase(sub_id);
+  const auto last = static_cast<std::uint32_t>(subs_.size() - 1);
+  if (slot != last) {
+    // Swap-remove: the tail subscription moves into the freed slot, so
+    // every structure that names the tail slot must be repointed.
+    subs_[slot] = std::move(subs_[last]);
+    const Subscription& moved = subs_[slot];
+    *index_.find(moved.id) = slot;
+    if (moved.kind == SubKind::kFriend) {
+      friends_replace_slot(moved, slot);
+    } else {
+      grid_replace_slot(moved, last, slot);
+    }
+  }
+  subs_.pop_back();
+  return true;
+}
+
+const Subscription* SubscriptionIndex::find(std::uint64_t sub_id) const {
+  const std::uint32_t* slot = index_.find(sub_id);
+  return slot == nullptr ? nullptr : &subs_[*slot];
+}
+
+void SubscriptionIndex::refresh() {
+  if (grid_valid_ && rect_count_ <= built_for_ * 2 &&
+      rect_count_ >= built_for_ / 2) {
+    return;
+  }
+  rebuild_grid();
+}
+
+void SubscriptionIndex::rebuild_grid() {
+  // Pitch near the mean subscription-rect side: the average rect covers
+  // O(1) cells and a point probe's candidate list stays proportional to
+  // the local subscription density.  Capped by ~2*sqrt(N) cells per axis
+  // (grid memory stays linear in the population) and an absolute bound.
+  double side_sum = 0.0;
+  for (const Subscription& s : subs_) {
+    if (s.kind == SubKind::kFriend) continue;
+    side_sum += 0.5 * (s.area.width + s.area.height);
+  }
+  std::size_t dim = 1;
+  if (rect_count_ > 0 && side_sum > 0.0) {
+    const double mean_side = side_sum / static_cast<double>(rect_count_);
+    const double plane_side = plane_.width < plane_.height ? plane_.width
+                                                           : plane_.height;
+    std::size_t sqrt_dim = 1;
+    while (sqrt_dim * sqrt_dim < rect_count_) ++sqrt_dim;
+    std::size_t cap = 2 * sqrt_dim;
+    if (cap > 1024) cap = 1024;
+    dim = static_cast<std::size_t>(plane_side / mean_side);
+    if (dim < 1) dim = 1;
+    if (dim > cap) dim = cap;
+  }
+  spec_ = overlay::UniformGridSpec::over(plane_, dim);
+  grid_.assign(spec_.cell_count(), {});
+  for (std::uint32_t slot = 0; slot < subs_.size(); ++slot) {
+    const Subscription& s = subs_[slot];
+    if (s.kind == SubKind::kFriend) continue;
+    grid_insert_unsorted(s, slot);
+  }
+  // Canonical bucket order: ascending sub id, so covering() emits matches
+  // pre-sorted from a single cell probe.
+  for (auto& bucket : grid_) std::sort(bucket.begin(), bucket.end());
+  built_for_ = rect_count_;
+  grid_valid_ = true;
+}
+
+void SubscriptionIndex::covering(const Point& p,
+                                 std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (rect_count_ == 0) return;
+  // One cell is enough: a rect covering p was inserted into every cell it
+  // touches, and the clamped cell of p lies inside [cell(r.x), cell(r.right)]
+  // x [cell(r.y), cell(r.top)] whenever the half-open cover test passes.
+  const auto& bucket = grid_[spec_.index(spec_.cell_x(p.x), spec_.cell_y(p.y))];
+  for (const Entry& e : bucket) {
+    if (subs_[e.second].area.covers(p)) out.push_back(e.second);
+  }
+}
+
+void SubscriptionIndex::grid_insert(const Subscription& sub,
+                                    std::uint32_t slot) {
+  const Rect& r = sub.area;
+  const std::size_t x0 = spec_.cell_x(r.x);
+  const std::size_t x1 = spec_.cell_x(r.right());
+  const std::size_t y0 = spec_.cell_y(r.y);
+  const std::size_t y1 = spec_.cell_y(r.top());
+  for (std::size_t cx = x0; cx <= x1; ++cx) {
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      auto& bucket = grid_[spec_.index(cx, cy)];
+      bucket.insert(lower_bound_id(bucket, sub.id), Entry{sub.id, slot});
+    }
+  }
+}
+
+void SubscriptionIndex::grid_insert_unsorted(const Subscription& sub,
+                                             std::uint32_t slot) {
+  const Rect& r = sub.area;
+  const std::size_t x0 = spec_.cell_x(r.x);
+  const std::size_t x1 = spec_.cell_x(r.right());
+  const std::size_t y0 = spec_.cell_y(r.y);
+  const std::size_t y1 = spec_.cell_y(r.top());
+  for (std::size_t cx = x0; cx <= x1; ++cx) {
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      grid_[spec_.index(cx, cy)].push_back(Entry{sub.id, slot});
+    }
+  }
+}
+
+void SubscriptionIndex::grid_remove(const Subscription& sub,
+                                    std::uint32_t slot) {
+  (void)slot;
+  const Rect& r = sub.area;
+  const std::size_t x0 = spec_.cell_x(r.x);
+  const std::size_t x1 = spec_.cell_x(r.right());
+  const std::size_t y0 = spec_.cell_y(r.y);
+  const std::size_t y1 = spec_.cell_y(r.top());
+  for (std::size_t cx = x0; cx <= x1; ++cx) {
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      auto& bucket = grid_[spec_.index(cx, cy)];
+      const auto it = lower_bound_id(bucket, sub.id);
+      if (it != bucket.end() && it->first == sub.id) bucket.erase(it);
+    }
+  }
+}
+
+void SubscriptionIndex::grid_replace_slot(const Subscription& sub,
+                                          std::uint32_t old_slot,
+                                          std::uint32_t new_slot) {
+  (void)old_slot;
+  const Rect& r = sub.area;
+  const std::size_t x0 = spec_.cell_x(r.x);
+  const std::size_t x1 = spec_.cell_x(r.right());
+  const std::size_t y0 = spec_.cell_y(r.y);
+  const std::size_t y1 = spec_.cell_y(r.top());
+  for (std::size_t cx = x0; cx <= x1; ++cx) {
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      auto& bucket = grid_[spec_.index(cx, cy)];
+      const auto it = lower_bound_id(bucket, sub.id);
+      if (it != bucket.end() && it->first == sub.id) it->second = new_slot;
+    }
+  }
+}
+
+void SubscriptionIndex::friends_insert(const Subscription& sub,
+                                       std::uint32_t slot) {
+  auto& list = *friends_.try_emplace(sub.friend_user).first;
+  list.insert(lower_bound_id(list, sub.id), Entry{sub.id, slot});
+}
+
+void SubscriptionIndex::friends_remove(const Subscription& sub) {
+  std::vector<Entry>* list = friends_.find(sub.friend_user);
+  if (list == nullptr) return;
+  const auto it = lower_bound_id(*list, sub.id);
+  if (it != list->end() && it->first == sub.id) list->erase(it);
+  if (list->empty()) friends_.erase(sub.friend_user);
+}
+
+void SubscriptionIndex::friends_replace_slot(const Subscription& sub,
+                                             std::uint32_t new_slot) {
+  std::vector<Entry>* list = friends_.find(sub.friend_user);
+  if (list == nullptr) return;
+  const auto it = lower_bound_id(*list, sub.id);
+  if (it != list->end() && it->first == sub.id) it->second = new_slot;
+}
+
+}  // namespace geogrid::pubsub

@@ -1,0 +1,149 @@
+// Spatial index of standing subscriptions for the incremental pub/sub path.
+//
+// GeoGrid's headline service is continuous location-based middleware:
+// standing subscriptions ("tell me when anyone enters this parking lot",
+// "track my friend u42") that push notifications as users move.  Answering
+// them by re-querying the world every tick costs O(subscriptions x query)
+// per epoch no matter how few users actually moved.  SubscriptionIndex is
+// the inverted structure that makes the delta path possible: given one
+// moved user's position, return every subscription whose geometry covers
+// it, in canonical (ascending sub-id) order, in O(candidates of one cell).
+//
+// The index holds three subscription kinds over one dense slot array:
+//
+//   * geofence — fire enter/leave when a user crosses the area boundary
+//   * range    — geofence plus a move event for motion inside the area
+//     (the paper's radius-γ continuous query mapped to its bounding box)
+//   * friend   — track one named user everywhere (no geometry)
+//
+// Rect-carrying kinds live in a uniform grid over the plane, built on the
+// same UniformGridSpec math as overlay::RegionResolver so every spatial
+// index in the codebase buckets coordinates identically.  Each grid cell
+// keeps its (sub id, slot) entries sorted by id; a rect is inserted into
+// every cell it touches, and the half-open Rect::covers test (the region
+// algebra's own predicate, also what LocationStore::range uses) means a
+// point probe needs exactly one cell — the candidates arrive pre-sorted
+// and covering() never sorts or deduplicates.  Friend subscriptions skip
+// the grid entirely and index by the tracked user id.
+//
+// Like the resolver, the index is a refresh-then-read structure: refresh()
+// (dispatcher-only) rebuilds the grid when the resident count drifted 2x
+// from the built size, and all query methods are const reads of frozen
+// state, safe from any number of match workers concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "net/messages.h"
+#include "overlay/region_resolver.h"
+
+namespace geogrid::pubsub {
+
+/// What a standing subscription watches (see header comment).
+enum class SubKind : std::uint8_t {
+  kGeofence = 0,
+  kRange = 1,
+  kFriend = 2,
+};
+
+/// One resident subscription.  `friend_user` is meaningful only for
+/// kFriend; `area` only for the rect-carrying kinds.
+struct Subscription {
+  std::uint64_t id = 0;
+  SubKind kind = SubKind::kGeofence;
+  Rect area{};
+  UserId friend_user{};
+  NodeId subscriber{};
+  std::string filter;
+};
+
+class SubscriptionIndex {
+ public:
+  explicit SubscriptionIndex(const Rect& plane)
+      : plane_(plane), spec_(overlay::UniformGridSpec::over(plane, 1)) {
+    // One-cell grid from birth: subscribe/unsubscribe keep the grid exact
+    // at all times, refresh() only re-tunes the pitch as the population
+    // grows.
+    grid_.resize(1);
+  }
+
+  SubscriptionIndex(const SubscriptionIndex&) = delete;
+  SubscriptionIndex& operator=(const SubscriptionIndex&) = delete;
+
+  /// Installs a rect-carrying subscription from its wire message.  A
+  /// resubscribe of a resident id replaces the subscription.
+  void subscribe(const net::Subscribe& msg, SubKind kind = SubKind::kGeofence);
+
+  /// Installs a friend-tracking subscription: fires wherever
+  /// `friend_user` moves; msg.area is ignored.
+  void subscribe_friend(const net::Subscribe& msg, UserId friend_user);
+
+  /// Removes a subscription.  Returns false when the id is not resident.
+  bool unsubscribe(std::uint64_t sub_id);
+
+  /// Wire-message convenience for unsubscribe.
+  bool apply(const net::Unsubscribe& msg) { return unsubscribe(msg.sub_id); }
+
+  /// Rebuilds the spatial grid iff the resident rect-subscription count
+  /// drifted 2x from the size the grid was built for.  Dispatcher-only,
+  /// like RegionResolver::refresh; the const queries below are safe from
+  /// any thread between refreshes.
+  void refresh();
+
+  /// Appends the slot of every rect subscription whose area covers `p`,
+  /// in ascending sub-id order (`out` is cleared first).  One grid-cell
+  /// probe; candidates arrive pre-sorted so nothing is re-sorted here.
+  void covering(const Point& p, std::vector<std::uint32_t>& out) const;
+
+  /// Friend subscriptions tracking `user`, ascending sub-id order (null
+  /// when nobody tracks the user).
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>>* friends_of(
+      UserId user) const {
+    return friends_.find(user);
+  }
+
+  const Subscription* find(std::uint64_t sub_id) const;
+  const Subscription& at(std::uint32_t slot) const { return subs_[slot]; }
+
+  std::size_t size() const noexcept { return subs_.size(); }
+  std::size_t rect_count() const noexcept { return rect_count_; }
+  std::size_t grid_dim() const noexcept { return spec_.dim; }
+  const Rect& plane() const noexcept { return plane_; }
+
+ private:
+  /// (sub id, slot) pair; cell buckets and friend lists stay sorted by id
+  /// so probes emit canonical order without sorting.
+  using Entry = std::pair<std::uint64_t, std::uint32_t>;
+
+  void insert(Subscription sub);
+  void grid_insert(const Subscription& sub, std::uint32_t slot);
+  void grid_insert_unsorted(const Subscription& sub, std::uint32_t slot);
+  void grid_remove(const Subscription& sub, std::uint32_t slot);
+  void grid_replace_slot(const Subscription& sub, std::uint32_t old_slot,
+                         std::uint32_t new_slot);
+  void friends_insert(const Subscription& sub, std::uint32_t slot);
+  void friends_remove(const Subscription& sub);
+  void friends_replace_slot(const Subscription& sub, std::uint32_t new_slot);
+  void rebuild_grid();
+
+  Rect plane_;
+  std::vector<Subscription> subs_;
+  common::FlatMap<std::uint64_t, std::uint32_t> index_;  ///< id -> slot
+  common::FlatMap<UserId, std::vector<Entry>> friends_;
+  std::size_t rect_count_ = 0;  ///< resident non-friend subscriptions
+
+  // Uniform grid over the plane (UniformGridSpec: same cell math as the
+  // region resolver).  Sized so the average subscription rect covers O(1)
+  // cells; rebuilt lazily by refresh() when the population drifts.
+  overlay::UniformGridSpec spec_;
+  std::vector<std::vector<Entry>> grid_;
+  std::size_t built_for_ = 0;  ///< rect_count_ the grid was sized for
+  bool grid_valid_ = true;
+};
+
+}  // namespace geogrid::pubsub

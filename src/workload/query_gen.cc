@@ -5,14 +5,27 @@
 namespace geogrid::workload {
 
 Rect QueryGenerator::next_area() {
+  return area_with(options_.min_radius_miles, options_.max_radius_miles);
+}
+
+Rect QueryGenerator::next_subscription_area() {
+  const double min = options_.sub_min_radius_miles < 0.0
+                         ? options_.min_radius_miles
+                         : options_.sub_min_radius_miles;
+  const double max = options_.sub_max_radius_miles < 0.0
+                         ? options_.max_radius_miles
+                         : options_.sub_max_radius_miles;
+  return area_with(min, max);
+}
+
+Rect QueryGenerator::area_with(double min_radius, double max_radius) {
   const Point center = rng_.chance(options_.background_fraction)
                            ? Point{rng_.uniform(field_.plane().x,
                                                 field_.plane().right()),
                                    rng_.uniform(field_.plane().y,
                                                 field_.plane().top())}
                            : field_.sample_weighted_point(rng_);
-  const double radius =
-      rng_.uniform(options_.min_radius_miles, options_.max_radius_miles);
+  const double radius = rng_.uniform(min_radius, max_radius);
   // Circle of radius γ -> rectangle (x, y, 2γ, 2γ) anchored so the circle
   // center is the rectangle center, clipped to the plane.
   const Rect& plane = field_.plane();
@@ -39,7 +52,7 @@ net::Subscribe QueryGenerator::next_subscription(
   net::Subscribe s;
   s.sub_id = ++next_id_;
   s.subscriber = subscriber;
-  s.area = next_area();
+  s.area = next_subscription_area();
   s.filter = options_.topics.empty()
                  ? std::string{}
                  : options_.topics[rng_.uniform_index(options_.topics.size())];

@@ -24,6 +24,11 @@ class QueryGenerator {
   struct Options {
     double min_radius_miles = 0.25;
     double max_radius_miles = 2.0;
+    /// Radius range for standing subscriptions (next_subscription).
+    /// Negative = follow the query radii above; pub/sub workloads set
+    /// smaller geofences than one-shot queries.
+    double sub_min_radius_miles = -1.0;
+    double sub_max_radius_miles = -1.0;
     /// Probability that a query ignores the hot spots (uniform background
     /// traffic).
     double background_fraction = 0.1;
@@ -45,6 +50,10 @@ class QueryGenerator {
   /// Draws the spatial area of the next query.
   Rect next_area();
 
+  /// Draws the spatial area of the next standing subscription (the
+  /// subscription radius range when configured, the query range else).
+  Rect next_subscription_area();
+
   /// Builds a complete LocationQuery issued by `focal`.
   net::LocationQuery next_query(const net::NodeInfo& focal);
 
@@ -55,6 +64,8 @@ class QueryGenerator {
   std::uint64_t issued() const noexcept { return next_id_; }
 
  private:
+  Rect area_with(double min_radius, double max_radius);
+
   const HotSpotField& field_;
   Options options_;
   Rng rng_;

@@ -1,9 +1,12 @@
-// Wire codec: primitive round-trips and malformed-input rejection.
+// Wire codec: primitive round-trips and malformed-input rejection, plus
+// field-level round-trips for the subscription/notification message family.
 #include "net/codec.h"
 
 #include <gtest/gtest.h>
 
 #include <limits>
+
+#include "net/messages.h"
 
 namespace geogrid::net {
 namespace {
@@ -106,6 +109,107 @@ TEST(Codec, EmptyString) {
   w.string("");
   Reader r(w.bytes());
   EXPECT_EQ(r.string(), "");
+}
+
+// --- Subscription / notification message family -------------------------
+//
+// messages_test.cc proves byte-level round-trips for every message type;
+// these tests additionally pin each decoded *field* so a codec change that
+// swaps two same-width fields (and thus still re-encodes identically) is
+// caught here.
+
+namespace {
+
+NodeInfo subscriber_node() {
+  NodeInfo n;
+  n.id = geogrid::NodeId{77};
+  n.coord = geogrid::Point{3.25, -1.5};
+  n.capacity = 55.5;
+  return n;
+}
+
+template <typename M>
+M field_roundtrip(const M& m) {
+  Writer w;
+  m.encode(w);
+  Reader r(w.bytes());
+  M out = M::decode(r);
+  EXPECT_TRUE(r.done()) << "decoder left trailing bytes";
+  return out;
+}
+
+}  // namespace
+
+TEST(Codec, SubscribeFieldsRoundTrip) {
+  Subscribe s;
+  s.sub_id = 0xfeedfacecafeULL;
+  s.subscriber = subscriber_node();
+  s.area = geogrid::Rect{10.5, 20.25, 4.0, 2.0};
+  s.filter = "traffic/cam-12";
+  s.duration = 3600.5;
+  s.disseminated = true;
+  const Subscribe d = field_roundtrip(s);
+  EXPECT_EQ(d.sub_id, s.sub_id);
+  EXPECT_EQ(d.subscriber.id, s.subscriber.id);
+  EXPECT_EQ(d.subscriber.coord, s.subscriber.coord);
+  EXPECT_DOUBLE_EQ(d.subscriber.capacity, s.subscriber.capacity);
+  EXPECT_EQ(d.area, s.area);
+  EXPECT_EQ(d.filter, s.filter);
+  EXPECT_DOUBLE_EQ(d.duration, s.duration);
+  EXPECT_TRUE(d.disseminated);
+}
+
+TEST(Codec, SubscribeAckFieldsRoundTrip) {
+  SubscribeAck a;
+  a.sub_id = 99;
+  a.region = geogrid::RegionId{41};
+  const SubscribeAck d = field_roundtrip(a);
+  EXPECT_EQ(d.sub_id, 99u);
+  EXPECT_EQ(d.region, (geogrid::RegionId{41}));
+}
+
+TEST(Codec, PublishFieldsRoundTrip) {
+  Publish p;
+  p.location = geogrid::Point{30.0, 40.0};
+  p.topic = "parking";
+  p.payload = "lot B: 0 spots";
+  const Publish d = field_roundtrip(p);
+  EXPECT_EQ(d.location, p.location);
+  EXPECT_EQ(d.topic, p.topic);
+  EXPECT_EQ(d.payload, p.payload);
+}
+
+TEST(Codec, NotifyFieldsRoundTrip) {
+  Notify n;
+  n.sub_id = 512;
+  n.topic = "geofence";
+  n.payload = "enter u42 @(1.000000, 2.000000)";
+  const Notify d = field_roundtrip(n);
+  EXPECT_EQ(d.sub_id, 512u);
+  EXPECT_EQ(d.topic, n.topic);
+  EXPECT_EQ(d.payload, n.payload);
+}
+
+TEST(Codec, UnsubscribeFieldsRoundTrip) {
+  Unsubscribe u;
+  u.sub_id = 0xabc;
+  u.subscriber = subscriber_node();
+  u.area = geogrid::Rect{1.0, 2.0, 3.0, 4.0};
+  u.disseminated = true;
+  const Unsubscribe d = field_roundtrip(u);
+  EXPECT_EQ(d.sub_id, 0xabcu);
+  EXPECT_EQ(d.subscriber.id, u.subscriber.id);
+  EXPECT_EQ(d.area, u.area);
+  EXPECT_TRUE(d.disseminated);
+}
+
+TEST(Codec, SubscribeEmptyFilterStaysEmpty) {
+  Subscribe s;
+  s.subscriber = subscriber_node();
+  s.area = geogrid::Rect{0, 0, 1, 1};
+  const Subscribe d = field_roundtrip(s);
+  EXPECT_EQ(d.filter, "");
+  EXPECT_FALSE(d.disseminated);
 }
 
 }  // namespace

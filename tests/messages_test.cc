@@ -134,6 +134,14 @@ TEST(Messages, EveryTypeRoundTrips) {
   all.push_back(Publish{Point{11, 11}, "parking", "lot A: 3 spots"});
   all.push_back(Notify{789, "parking", "lot A: 3 spots"});
   {
+    Unsubscribe u;
+    u.sub_id = 789;
+    u.subscriber = sample_node(11);
+    u.area = Rect{10, 10, 2, 2};
+    u.disseminated = true;
+    all.push_back(u);
+  }
+  {
     LocationUpdate u;
     u.user = UserId{321};
     u.location = Point{8.5, 9.25};
@@ -174,7 +182,7 @@ TEST(Messages, EveryTypeRoundTrips) {
   }
   all.push_back(LocateReply{9002, UserId{999}});  // not-found reply
 
-  EXPECT_EQ(all.size(), 46u);  // every message type exercised
+  EXPECT_EQ(all.size(), 47u);  // every message type exercised
   for (const Message& m : all) expect_roundtrip(m);
 }
 

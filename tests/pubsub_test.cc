@@ -1,0 +1,440 @@
+// Pub/sub: SubscriptionIndex correctness against brute force, notification
+// event semantics per subscription kind, and the determinism contract —
+// byte-identical notification streams across shard and thread counts, and
+// incremental (delta) drains agreeing with the full-rescan path exactly.
+#include "pubsub/notification_engine.h"
+#include "pubsub/subscription_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "mobility/motion.h"
+#include "mobility/sharded_directory.h"
+#include "overlay/partition.h"
+
+namespace geogrid::pubsub {
+namespace {
+
+using mobility::LocationRecord;
+using mobility::ShardedDirectory;
+
+constexpr Rect kPlane{0.0, 0.0, 64.0, 64.0};
+
+// Same quadrant geometry as the mobility suites: four regions via two
+// split rounds.
+struct QuadrantFixture {
+  overlay::Partition partition{kPlane};
+  QuadrantFixture() {
+    const NodeId a = partition.add_node({NodeId{1}, Point{10, 10}, 10.0});
+    const NodeId b = partition.add_node({NodeId{2}, Point{10, 50}, 10.0});
+    const NodeId c = partition.add_node({NodeId{3}, Point{50, 10}, 10.0});
+    const NodeId d = partition.add_node({NodeId{4}, Point{50, 50}, 10.0});
+    const RegionId root = partition.create_root(a);
+    const RegionId north = partition.split(root, b);
+    partition.split(root, c);
+    partition.split(north, d);
+    EXPECT_EQ(partition.region_count(), 4u);
+  }
+};
+
+net::Subscribe sub_msg(std::uint64_t id, const Rect& area,
+                       const char* filter = "") {
+  net::Subscribe s;
+  s.sub_id = id;
+  s.subscriber.id = NodeId{static_cast<std::uint32_t>(id % 97 + 1)};
+  s.subscriber.coord = area.center();
+  s.area = area;
+  s.filter = filter;
+  return s;
+}
+
+LocationRecord rec(std::uint32_t user, double x, double y,
+                   std::uint64_t seq = 1) {
+  return LocationRecord{UserId{user}, Point{x, y}, seq, 0.0};
+}
+
+std::vector<std::uint64_t> covering_ids(const SubscriptionIndex& idx,
+                                        const Point& p) {
+  std::vector<std::uint32_t> slots;
+  idx.covering(p, slots);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(slots.size());
+  for (const std::uint32_t s : slots) ids.push_back(idx.at(s).id);
+  return ids;
+}
+
+std::vector<std::byte> serialize(std::span<const Notification> batch) {
+  net::Writer w;
+  NotificationEngine::serialize(w, batch);
+  return std::move(w).take();
+}
+
+/// Seeded motion trace chopped into per-tick batches (the sharded-directory
+/// suite's helper, shared shape).
+std::vector<std::vector<LocationRecord>> make_trace(std::size_t users,
+                                                    int ticks,
+                                                    std::uint64_t seed) {
+  mobility::UserPopulation::Options opt;
+  opt.max_pause = 2.0;
+  mobility::UserPopulation pop(users, opt, nullptr, Rng(seed));
+  std::vector<std::vector<LocationRecord>> batches;
+  double now = 0.0;
+  for (int step = 0; step < ticks; ++step) {
+    now += 1.0;
+    pop.step(1.0, now);
+    std::vector<LocationRecord> batch;
+    batch.reserve(users);
+    for (auto& u : pop.users()) {
+      batch.push_back({u.id, u.position, u.next_seq++, now});
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+// --- SubscriptionIndex ---------------------------------------------------
+
+TEST(SubscriptionIndex, CoveringMatchesBruteForce) {
+  SubscriptionIndex idx(kPlane);
+  Rng rng(404);
+  std::vector<Subscription> reference;
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    const double w = rng.uniform(0.25, 8.0);
+    const double h = rng.uniform(0.25, 8.0);
+    const double x = rng.uniform(0.0, 64.0 - w);
+    const double y = rng.uniform(0.0, 64.0 - h);
+    const Rect area{x, y, w, h};
+    const SubKind kind = rng.chance(0.5) ? SubKind::kGeofence : SubKind::kRange;
+    idx.subscribe(sub_msg(id, area), kind);
+    reference.push_back(Subscription{id, kind, area, UserId{}, NodeId{}, ""});
+  }
+  idx.refresh();
+  EXPECT_GT(idx.grid_dim(), 1u);  // population large enough to tune the grid
+
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0)};
+    std::vector<std::uint64_t> expected;
+    for (const auto& s : reference) {
+      if (s.area.covers(p)) expected.push_back(s.id);
+    }
+    // reference is already in ascending-id insertion order
+    EXPECT_EQ(covering_ids(idx, p), expected) << "probe " << i;
+  }
+}
+
+TEST(SubscriptionIndex, CoveringIsHalfOpenLikeLocationStoreRange) {
+  SubscriptionIndex idx(kPlane);
+  idx.subscribe(sub_msg(1, Rect{8, 8, 8, 8}));
+  // Half-open on the low edges, closed on the high edges — the region
+  // algebra's own cover test.
+  EXPECT_TRUE(covering_ids(idx, Point{16, 16}).size() == 1);
+  EXPECT_TRUE(covering_ids(idx, Point{8, 12}).empty());
+  EXPECT_TRUE(covering_ids(idx, Point{12, 8}).empty());
+  EXPECT_TRUE(covering_ids(idx, Point{8.001, 8.001}).size() == 1);
+  EXPECT_TRUE(covering_ids(idx, Point{16.001, 12}).empty());
+}
+
+TEST(SubscriptionIndex, ResubscribeReplacesAndUnsubscribeRemoves) {
+  SubscriptionIndex idx(kPlane);
+  idx.subscribe(sub_msg(7, Rect{0, 0, 4, 4}));
+  ASSERT_EQ(idx.size(), 1u);
+  EXPECT_EQ(covering_ids(idx, Point{2, 2}),
+            (std::vector<std::uint64_t>{7}));
+
+  // Resubscribing the same id moves the geometry, not adds a twin.
+  idx.subscribe(sub_msg(7, Rect{30, 30, 4, 4}));
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_TRUE(covering_ids(idx, Point{2, 2}).empty());
+  EXPECT_EQ(covering_ids(idx, Point{32, 32}),
+            (std::vector<std::uint64_t>{7}));
+
+  EXPECT_TRUE(idx.unsubscribe(7));
+  EXPECT_FALSE(idx.unsubscribe(7));  // already gone
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(covering_ids(idx, Point{32, 32}).empty());
+}
+
+TEST(SubscriptionIndex, UnsubscribeSwapRemoveKeepsProbesCorrect) {
+  // Removing from the middle of the dense slot array relocates the last
+  // subscription; every index (id map, grid cells, friend lists) must be
+  // fixed up.  Probe after each removal against brute force.
+  SubscriptionIndex idx(kPlane);
+  Rng rng(11);
+  std::vector<Subscription> reference;
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    const Rect area{rng.uniform(0, 56), rng.uniform(0, 56), 6, 6};
+    idx.subscribe(sub_msg(id, area));
+    reference.push_back(
+        Subscription{id, SubKind::kGeofence, area, UserId{}, NodeId{}, ""});
+  }
+  idx.refresh();
+  std::vector<std::uint64_t> order(64);
+  for (std::uint64_t i = 0; i < 64; ++i) order[i] = i + 1;
+  rng.shuffle(order);
+  for (const std::uint64_t victim : order) {
+    ASSERT_TRUE(idx.unsubscribe(victim));
+    std::erase_if(reference, [&](const auto& s) { return s.id == victim; });
+    const Point p{rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0)};
+    std::vector<std::uint64_t> expected;
+    for (const auto& s : reference) {
+      if (s.area.covers(p)) expected.push_back(s.id);
+    }
+    EXPECT_EQ(covering_ids(idx, p), expected);
+  }
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.rect_count(), 0u);
+}
+
+TEST(SubscriptionIndex, FriendSubscriptionsIndexByTrackedUser) {
+  SubscriptionIndex idx(kPlane);
+  idx.subscribe_friend(sub_msg(5, Rect{}), UserId{42});
+  idx.subscribe_friend(sub_msg(3, Rect{}), UserId{42});
+  idx.subscribe_friend(sub_msg(9, Rect{}), UserId{7});
+  EXPECT_EQ(idx.rect_count(), 0u);  // friends never enter the grid
+
+  const auto* list = idx.friends_of(UserId{42});
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0].first, 3u);  // ascending sub-id order
+  EXPECT_EQ((*list)[1].first, 5u);
+  EXPECT_EQ(idx.friends_of(UserId{1}), nullptr);
+
+  EXPECT_TRUE(idx.unsubscribe(3));
+  ASSERT_NE(idx.friends_of(UserId{42}), nullptr);
+  EXPECT_EQ(idx.friends_of(UserId{42})->size(), 1u);
+  EXPECT_TRUE(idx.unsubscribe(5));
+  EXPECT_EQ(idx.friends_of(UserId{42}), nullptr);  // empty list dropped
+}
+
+// --- NotificationEngine: event semantics ---------------------------------
+
+TEST(NotificationEngine, EventSemanticsPerKind) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4, .track_deltas = true});
+  SubscriptionIndex subs(kPlane);
+  subs.subscribe(sub_msg(1, Rect{8, 8, 8, 8}, "fence"), SubKind::kGeofence);
+  subs.subscribe(sub_msg(2, Rect{8, 8, 8, 8}, "track"), SubKind::kRange);
+  subs.subscribe_friend(sub_msg(3, Rect{}, "friend"), UserId{7});
+  NotificationEngine engine(dir, subs, {.threads = 1});
+
+  // Epoch 1: user 7 appears inside the watched area; user 9 far away.
+  dir.apply_updates(std::vector<LocationRecord>{rec(7, 12, 12, 1),
+                                                rec(9, 50, 50, 1)});
+  auto batch = engine.drain();
+  ASSERT_EQ(batch.size(), 3u);  // first drain: everything is an enter
+  EXPECT_EQ(batch[0],
+            (Notification{1, UserId{7}, NotifyEvent::kEnter, Point{12, 12}}));
+  EXPECT_EQ(batch[1],
+            (Notification{2, UserId{7}, NotifyEvent::kEnter, Point{12, 12}}));
+  EXPECT_EQ(batch[2],
+            (Notification{3, UserId{7}, NotifyEvent::kEnter, Point{12, 12}}));
+
+  // Epoch 2: user 7 moves inside the area.  The geofence stays silent, the
+  // range subscription and the friend tracker report the motion.
+  dir.apply_updates(std::vector<LocationRecord>{rec(7, 13, 13, 2)});
+  batch = engine.drain();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0],
+            (Notification{2, UserId{7}, NotifyEvent::kMove, Point{13, 13}}));
+  EXPECT_EQ(batch[1],
+            (Notification{3, UserId{7}, NotifyEvent::kMove, Point{13, 13}}));
+
+  // Epoch 3: user 7 exits the area.  Both rect kinds fire leave; the
+  // friend tracker keeps following (a move, never a leave).
+  dir.apply_updates(std::vector<LocationRecord>{rec(7, 40, 40, 3)});
+  batch = engine.drain();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0],
+            (Notification{1, UserId{7}, NotifyEvent::kLeave, Point{40, 40}}));
+  EXPECT_EQ(batch[1],
+            (Notification{2, UserId{7}, NotifyEvent::kLeave, Point{40, 40}}));
+  EXPECT_EQ(batch[2],
+            (Notification{3, UserId{7}, NotifyEvent::kMove, Point{40, 40}}));
+
+  // Epoch 4: user 7 re-reports the same position (paused user): applied by
+  // the seq guard but stationary — no boundary crossed, nothing emitted.
+  dir.apply_updates(std::vector<LocationRecord>{rec(7, 40, 40, 4)});
+  batch = engine.drain();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(engine.counters().stationary_skips, 1u);
+
+  EXPECT_EQ(engine.counters().drains, 4u);
+  EXPECT_EQ(engine.counters().enters, 3u);
+  EXPECT_EQ(engine.counters().leaves, 2u);
+  EXPECT_EQ(engine.counters().moves, 3u);
+  EXPECT_EQ(engine.counters().friend_events, 3u);
+  EXPECT_EQ(engine.counters().full_rescans, 0u);
+  EXPECT_EQ(engine.counters().last_epoch, 4u);
+}
+
+TEST(NotificationEngine, DrainWithoutNewEpochEmitsNothing) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 2, .track_deltas = true});
+  SubscriptionIndex subs(kPlane);
+  subs.subscribe(sub_msg(1, Rect{8, 8, 8, 8}));
+  NotificationEngine engine(dir, subs, {.threads = 1});
+  dir.apply_updates(std::vector<LocationRecord>{rec(7, 12, 12, 1)});
+  EXPECT_EQ(engine.drain().size(), 1u);
+  EXPECT_TRUE(engine.drain().empty());  // same epoch: nothing new
+  EXPECT_TRUE(engine.drain().empty());
+}
+
+TEST(NotificationEngine, TrimConsumedReleasesDeltaHistory) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 2, .track_deltas = true});
+  SubscriptionIndex subs(kPlane);
+  NotificationEngine engine(dir, subs, {.threads = 1});
+  dir.apply_updates(std::vector<LocationRecord>{rec(1, 10, 10, 1)});
+  dir.apply_updates(std::vector<LocationRecord>{rec(1, 11, 11, 2)});
+  EXPECT_EQ(dir.epoch_deltas().size(), 2u);
+  engine.drain();
+  EXPECT_TRUE(dir.epoch_deltas().empty());  // consumed epochs released
+  EXPECT_EQ(dir.delta_floor(), 2u);
+}
+
+TEST(NotificationEngine, ToNotifyCarriesFilterAsTopic) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 2, .track_deltas = true});
+  SubscriptionIndex subs(kPlane);
+  subs.subscribe(sub_msg(1, Rect{8, 8, 8, 8}, "parking"));
+  NotificationEngine engine(dir, subs, {.threads = 1});
+  dir.apply_updates(std::vector<LocationRecord>{rec(7, 12, 12, 1)});
+  const auto batch = engine.drain();
+  ASSERT_EQ(batch.size(), 1u);
+  const net::Notify n = engine.to_notify(batch[0]);
+  EXPECT_EQ(n.sub_id, 1u);
+  EXPECT_EQ(n.topic, "parking");
+  EXPECT_NE(n.payload.find("u7"), std::string::npos);
+}
+
+// --- NotificationEngine: determinism and the incremental contract --------
+
+/// Installs a deterministic mixed-population of subscriptions.
+void install_subs(SubscriptionIndex& subs, std::size_t count,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::uint64_t id = 1; id <= count; ++id) {
+    const double w = rng.uniform(0.5, 6.0);
+    const double h = rng.uniform(0.5, 6.0);
+    const Rect area{rng.uniform(0.0, 64.0 - w), rng.uniform(0.0, 64.0 - h),
+                    w, h};
+    const double roll = rng.uniform();
+    if (roll < 0.4) {
+      subs.subscribe(sub_msg(id, area), SubKind::kGeofence);
+    } else if (roll < 0.8) {
+      subs.subscribe(sub_msg(id, area), SubKind::kRange);
+    } else {
+      subs.subscribe_friend(
+          sub_msg(id, area),
+          UserId{static_cast<std::uint32_t>(rng.uniform_index(100) + 1)});
+    }
+  }
+}
+
+TEST(NotificationEngine, ByteIdenticalAcrossShardAndThreadCounts) {
+  // The divergence-abort contract bench_notifications enforces at scale:
+  // the serialized notification stream must not depend on the directory's
+  // shard count or the engine's match fan-out.
+  QuadrantFixture fx;
+  ShardedDirectory dir_a(fx.partition, {.shards = 1, .track_deltas = true});
+  ShardedDirectory dir_b(fx.partition, {.shards = 8, .track_deltas = true});
+  SubscriptionIndex subs_a(kPlane);
+  SubscriptionIndex subs_b(kPlane);
+  install_subs(subs_a, 150, 5);
+  install_subs(subs_b, 150, 5);
+  NotificationEngine serial(dir_a, subs_a, {.threads = 1});
+  NotificationEngine parallel(dir_b, subs_b, {.threads = 4});
+  EXPECT_EQ(serial.thread_count(), 1u);
+  EXPECT_EQ(parallel.thread_count(), 4u);
+
+  std::uint64_t total = 0;
+  for (const auto& batch : make_trace(100, 25, 99)) {
+    dir_a.apply_updates(batch);
+    dir_b.apply_updates(batch);
+    const auto a = serial.drain();
+    const auto b = parallel.drain();
+    ASSERT_EQ(serialize(a), serialize(b));
+    total += a.size();
+  }
+  EXPECT_GT(total, 0u);  // the trace actually produced notifications
+  EXPECT_EQ(serial.counters().notifications,
+            parallel.counters().notifications);
+  EXPECT_EQ(serial.counters().enters, parallel.counters().enters);
+  EXPECT_EQ(serial.counters().leaves, parallel.counters().leaves);
+  EXPECT_EQ(serial.counters().moves, parallel.counters().moves);
+}
+
+TEST(NotificationEngine, IncrementalAgreesWithFullRescan) {
+  // A directory without delta tracking forces the engine down the
+  // full-rescan fallback every drain; the incremental (delta) path must
+  // emit the exact same stream.
+  QuadrantFixture fx;
+  ShardedDirectory fast(fx.partition, {.shards = 4, .track_deltas = true});
+  ShardedDirectory slow(fx.partition, {.shards = 4});  // no deltas
+  SubscriptionIndex subs_fast(kPlane);
+  SubscriptionIndex subs_slow(kPlane);
+  install_subs(subs_fast, 120, 17);
+  install_subs(subs_slow, 120, 17);
+  NotificationEngine incremental(fast, subs_fast, {.threads = 2});
+  NotificationEngine rescan(slow, subs_slow, {.threads = 2});
+
+  // Only a small subset of the population moves (and reports) each tick,
+  // so the ingest delta is a strict subset of the resident users.
+  Rng rng(123);
+  std::vector<std::uint64_t> seq(80, 0);
+  std::size_t epochs = 0;
+  for (int tick = 0; tick < 20; ++tick) {
+    std::vector<LocationRecord> batch;
+    for (std::uint32_t u = 0; u < 80; ++u) {
+      // Everyone reports on tick 0 (initial placement), then ~20% per tick.
+      if (tick > 0 && !rng.chance(0.2)) continue;
+      batch.push_back(rec(u + 1, rng.uniform(0.0, 64.0),
+                          rng.uniform(0.0, 64.0), ++seq[u]));
+    }
+    if (!batch.empty()) ++epochs;
+    fast.apply_updates(batch);
+    slow.apply_updates(batch);
+    ASSERT_EQ(serialize(incremental.drain()), serialize(rescan.drain()));
+  }
+  ASSERT_GT(epochs, 1u);
+  EXPECT_EQ(incremental.counters().full_rescans, 0u);
+  // rescan's first drain is the bootstrap scan, not a fallback; every
+  // later drain had no delta to consume.
+  EXPECT_EQ(rescan.counters().full_rescans, epochs - 1);
+  // The incremental engine matched far fewer candidate users per epoch
+  // than the rescans (that asymmetry is the whole point).
+  EXPECT_LT(incremental.counters().delta_users,
+            rescan.counters().delta_users);
+}
+
+TEST(NotificationEngine, RecoversWhenDeltaHistoryWasTrimmed) {
+  // An engine that falls behind the directory's retained history must
+  // detect the gap and full-rescan instead of missing events.
+  QuadrantFixture fx;
+  ShardedDirectory dir(
+      fx.partition,
+      {.shards = 2, .track_deltas = true, .delta_retention = 1});
+  SubscriptionIndex subs(kPlane);
+  subs.subscribe(sub_msg(1, Rect{8, 8, 8, 8}));
+  NotificationEngine engine(dir, subs,
+                            {.threads = 1, .trim_consumed = false});
+
+  dir.apply_updates(std::vector<LocationRecord>{rec(7, 40, 40, 1)});
+  EXPECT_TRUE(engine.drain().empty());  // outside the fence
+
+  // Two epochs pass without a drain; retention=1 discards the first, so
+  // the published snapshot can no longer carry a delta back to epoch 1.
+  dir.apply_updates(std::vector<LocationRecord>{rec(7, 12, 12, 2)});
+  dir.apply_updates(std::vector<LocationRecord>{rec(8, 50, 50, 1)});
+  const auto batch = engine.drain();
+  ASSERT_EQ(batch.size(), 1u);  // the enter was not lost
+  EXPECT_EQ(batch[0],
+            (Notification{1, UserId{7}, NotifyEvent::kEnter, Point{12, 12}}));
+  EXPECT_EQ(engine.counters().full_rescans, 1u);
+}
+
+}  // namespace
+}  // namespace geogrid::pubsub
