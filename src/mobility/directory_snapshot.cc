@@ -16,6 +16,7 @@ void DirectorySnapshot::serialize(net::Writer& w) const {
   std::vector<std::pair<RegionId, const LocationStore*>> stores;
   for (const auto& slice : slices_) {
     slice->for_each([&](RegionId id, const LocationStore& st) {
+      if (st.empty()) return;  // matches ShardedDirectory::serialize
       stores.emplace_back(id, &st);
     });
   }

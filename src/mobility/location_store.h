@@ -103,6 +103,17 @@ class LocationStore {
   /// ordered by ascending distance; ties break on user id.
   std::vector<LocationRecord> k_nearest(const Point& p, std::size_t k) const;
 
+  /// Visits every stored record in slot order (an artifact of ingestion
+  /// history, not canonical) — callers that need determinism must sort what
+  /// they collect.  The region-migration scan is the intended consumer.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(users_.size()); ++slot) {
+      fn(record_at(slot));
+    }
+  }
+
   std::size_t size() const noexcept { return users_.size(); }
   bool empty() const noexcept { return users_.empty(); }
   void clear();

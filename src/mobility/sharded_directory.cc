@@ -116,6 +116,10 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
   }
 
   // Phase C: drain every shard queue in dispatch order, one worker each.
+  drain_queues();
+}
+
+void ShardedDirectory::drain_queues() {
   pool_.run([this](std::size_t s) {
     Shard& shard = shards_[s];
     if (shard.queue.empty()) return;
@@ -133,6 +137,104 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
       }
     }
   });
+}
+
+ShardedDirectory::MigrationReport ShardedDirectory::migrate_regions(
+    const MigrationFilter& filter) {
+  MigrationReport report;
+  ++counters_.migration_passes;
+  resolver_.refresh();
+
+  struct Move {
+    LocationRecord rec{};
+    RegionId from{};
+    RegionId to{};
+  };
+  // Scan in parallel: each worker sweeps its own shard's stores and
+  // collects records whose region no longer covers them.  Misplacement is
+  // judged through resolver_.resolve with the holding region as hint — the
+  // exact cover test the ingest fast path applies, so records sitting on
+  // the plane border resolve the same way they did when ingested.
+  std::vector<std::vector<Move>> found(shards_.size());
+  std::vector<std::uint64_t> scanned(shards_.size(), 0);
+  pool_.run([&](std::size_t s) {
+    shards_[s].stores.for_each([&](RegionId id, const LocationStore& st) {
+      const RegionId hint = partition_.has_region(id) ? id : kInvalidRegion;
+      st.for_each([&](const LocationRecord& rec) {
+        ++scanned[s];
+        bool fast = false;
+        const RegionId target = resolver_.resolve(rec.position, hint, &fast);
+        if (target == id || target == kInvalidRegion) return;
+        found[s].push_back(Move{rec, id, target});
+      });
+    });
+  });
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    report.scanned += scanned[s];
+  }
+
+  // Transfers apply in user-id order so every region's store sees the same
+  // operation sequence for any shard count (the determinism contract).
+  std::vector<Move> moves;
+  for (std::vector<Move>& f : found) {
+    moves.insert(moves.end(), f.begin(), f.end());
+  }
+  std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+    return a.rec.user < b.rec.user;
+  });
+
+  for (auto& shard : shards_) shard.queue.clear();
+  std::vector<UserId> migrated;
+  if (track_deltas_) migrated.reserve(moves.size());
+  for (const Move& m : moves) {
+    if (filter && !filter(m.rec.user, m.from, m.to)) {
+      ++report.dropped;
+      continue;
+    }
+    // Eviction first (as in phase B) so a same-shard transfer drains in
+    // the right order; max_seq = the record's own seq, which the old store
+    // holds exactly, so erase_if_stale always removes it.
+    shards_[shard_of(m.from)].queue.push_back(ShardOp{
+        LocationRecord{m.rec.user, Point{}, m.rec.seq, 0.0}, m.from,
+        /*evict=*/true});
+    shards_[shard_of(m.to)].queue.push_back(ShardOp{m.rec, m.to,
+                                                    /*evict=*/false});
+    if (UserSlot* state = user_state_.find(m.rec.user)) state->region = m.to;
+    ++report.moved;
+    if (track_deltas_) migrated.push_back(m.rec.user);
+  }
+
+  if (report.moved > 0) {
+    drain_queues();
+    // A migration that changed store contents is an ingest epoch of its
+    // own: snapshots republish, and the moved users join the delta history
+    // so changed_since reports users a removed region no longer holds.
+    ++counters_.batches;
+    counters_.migrated_records += report.moved;
+    if (track_deltas_ && !migrated.empty()) {
+      deltas_.push_back(EpochDelta{counters_.batches, std::move(migrated)});
+      while (deltas_.size() > delta_retention_) {
+        delta_floor_ = deltas_.front().epoch;
+        deltas_.pop_front();
+      }
+    }
+  }
+  counters_.migration_dropped += report.dropped;
+
+  // Free the stores of retired regions once they emptied; live regions
+  // keep their (empty) stores — serialize skips them either way.
+  for (auto& shard : shards_) {
+    std::vector<RegionId> dead;
+    shard.stores.for_each([&](RegionId id, const LocationStore& st) {
+      if (st.empty() && !partition_.has_region(id)) dead.push_back(id);
+    });
+    for (const RegionId id : dead) {
+      shard.stores.erase(id);
+      shard.dirty = true;
+      ++report.stores_retired;
+    }
+  }
+  return report;
 }
 
 ShardedDirectory::ApplyResult ShardedDirectory::apply_update(
@@ -275,6 +377,7 @@ void ShardedDirectory::serialize(net::Writer& w) const {
   std::vector<std::pair<RegionId, const LocationStore*>> stores;
   for (const Shard& shard : shards_) {
     shard.stores.for_each([&](RegionId id, const LocationStore& st) {
+      if (st.empty()) return;  // migrated-out regions leave no trace
       stores.emplace_back(id, &st);
     });
   }

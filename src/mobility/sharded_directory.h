@@ -52,6 +52,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -96,6 +97,9 @@ class ShardedDirectory {
     std::uint64_t locate_fast_path = 0;  ///< rect-memo hits (no partition walk)
     std::uint64_t snapshots_published = 0;   ///< fresh DirectorySnapshots built
     std::uint64_t snapshot_slices_copied = 0;  ///< shard slices recopied
+    std::uint64_t migration_passes = 0;    ///< migrate_regions calls
+    std::uint64_t migrated_records = 0;    ///< records re-homed by migration
+    std::uint64_t migration_dropped = 0;   ///< transfers vetoed by the filter
   };
 
   /// What one apply_update did (single-record convenience mirror of
@@ -118,6 +122,36 @@ class ShardedDirectory {
 
   /// Single-record convenience: a batch of one.
   ApplyResult apply_update(const LocationRecord& record);
+
+  /// Decides whether one record's cross-region transfer is delivered this
+  /// pass.  Returning false models a dropped transfer message: the record
+  /// stays in its old store (and keeps answering point lookups there) until
+  /// a later migrate_regions pass retries it.
+  using MigrationFilter =
+      std::function<bool(UserId user, RegionId from, RegionId to)>;
+
+  /// What one migrate_regions pass did.
+  struct MigrationReport {
+    std::uint64_t scanned = 0;  ///< records inspected across all stores
+    std::uint64_t moved = 0;    ///< records re-homed to their covering region
+    std::uint64_t dropped = 0;  ///< transfers vetoed by the filter
+    std::uint64_t stores_retired = 0;  ///< emptied dead-region stores freed
+    /// Every misplaced record either moved or was deliberately dropped;
+    /// a clean pass (dropped == 0) leaves the directory region-consistent.
+    bool complete() const noexcept { return dropped == 0; }
+  };
+
+  /// Re-homes records stranded by partition geometry changes (split, merge,
+  /// failover repair): every record whose region was retired or no longer
+  /// covers its position moves to the covering region, byte-preserving its
+  /// seq and timestamp.  Misplacement is judged by the same resolver path
+  /// ingestion uses, so plane-border semantics match exactly.  Transfers
+  /// apply in user-id order, keeping the result byte-identical for every
+  /// shard count.  A pass that moved anything counts as one ingest epoch
+  /// and its users join the delta history — consumers watching
+  /// changed_since observe users that vanished from a removed region even
+  /// though no report arrived.  Writer-side only, like apply_updates.
+  MigrationReport migrate_regions(const MigrationFilter& filter = {});
 
   /// Point lookup through the per-user memo (no partition access).
   std::optional<LocationRecord> locate(UserId user) const;
@@ -194,7 +228,9 @@ class ShardedDirectory {
   const overlay::Partition& partition() const noexcept { return partition_; }
 
   /// Canonical snapshot of every store: regions sorted by id, records
-  /// sorted by user.  Equal contents produce equal bytes for any K.
+  /// sorted by user.  Empty stores are skipped, so a directory whose users
+  /// all migrated out of a region serializes identically to one that never
+  /// populated it.  Equal contents produce equal bytes for any K.
   void serialize(net::Writer& w) const;
 
  private:
@@ -215,6 +251,9 @@ class ShardedDirectory {
   std::size_t shard_of(RegionId region) const noexcept {
     return shard_of_region(region, shards_.size());
   }
+
+  /// Phase C: drains every shard queue in dispatch order, one worker each.
+  void drain_queues();
 
   const overlay::Partition& partition_;
   double cell_size_;

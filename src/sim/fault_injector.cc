@@ -1,0 +1,19 @@
+#include "sim/fault_injector.h"
+
+namespace geogrid::sim {
+
+std::string_view fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kRegionKill:
+      return "region-kill";
+    case FaultKind::kDelayedHandoff:
+      return "delayed-handoff";
+    case FaultKind::kDroppedTransfer:
+      return "dropped-transfer";
+  }
+  return "unknown";
+}
+
+}  // namespace geogrid::sim

@@ -24,28 +24,48 @@ HotSpotField::HotSpotField(Options options, Rng& rng)
   rebuild();
 }
 
-void HotSpotField::migrate(Rng& rng) {
-  for (auto& h : hotspots_) {
-    const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
-    const double step = rng.uniform(0.0, 2.0 * h.radius);
-    double nx = h.center.x + step * std::cos(angle);
-    double ny = h.center.y + step * std::sin(angle);
-    // Reflect at the plane boundary so hot spots stay in the service area.
-    const auto reflect = [](double v, double lo, double hi) {
-      while (v < lo || v > hi) {
-        if (v < lo) v = lo + (lo - v);
-        if (v > hi) v = hi - (v - hi);
-      }
-      return v;
-    };
-    h.center.x = reflect(nx, options_.plane.x, options_.plane.right());
-    h.center.y = reflect(ny, options_.plane.y, options_.plane.top());
+namespace {
+
+// Reflect at the plane boundary so hot spots stay in the service area.
+double reflect(double v, double lo, double hi) {
+  while (v < lo || v > hi) {
+    if (v < lo) v = lo + (lo - v);
+    if (v > hi) v = hi - (v - hi);
   }
+  return v;
+}
+
+// One hot spot's migration step: random direction, step U(0, 2r).
+void step_hotspot(HotSpot& h, Rng& rng, const Rect& plane) {
+  const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double step = rng.uniform(0.0, 2.0 * h.radius);
+  h.center.x = reflect(h.center.x + step * std::cos(angle), plane.x,
+                       plane.right());
+  h.center.y = reflect(h.center.y + step * std::sin(angle), plane.y,
+                       plane.top());
+}
+
+}  // namespace
+
+void HotSpotField::migrate(Rng& rng) {
+  for (auto& h : hotspots_) step_hotspot(h, rng, options_.plane);
   rebuild();
 }
 
 void HotSpotField::migrate(Rng& rng, std::size_t steps) {
   for (std::size_t i = 0; i < steps; ++i) migrate(rng);
+}
+
+void HotSpotField::advance(std::uint64_t seed, std::uint64_t tick) {
+  for (std::size_t i = 0; i < hotspots_.size(); ++i) {
+    // Key each hot spot's draw stream by (seed, tick, index); the Rng
+    // constructor runs the key through SplitMix64, which decorrelates the
+    // linear combination into an independent stream per triple.
+    Rng rng(seed + tick * 0x9e3779b97f4a7c15ULL +
+            static_cast<std::uint64_t>(i) * 0xbf58476d1ce4e5b9ULL);
+    step_hotspot(hotspots_[i], rng, options_.plane);
+  }
+  rebuild();
 }
 
 double HotSpotField::at(const Point& p) const noexcept {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/geometry.h"
@@ -58,6 +59,15 @@ class HotSpotField {
   /// Migrates `steps` epochs at once (the paper's moving-hot-spot scenario
   /// advances hot spots 4-10 steps per adaptation round).
   void migrate(Rng& rng, std::size_t steps);
+
+  /// Deterministic replayable migration: one epoch whose direction and step
+  /// for hot spot i are a pure function of (seed, tick, i), independent of
+  /// every other draw in the program.  Two fields with equal hot spots that
+  /// advance through the same (seed, tick) sequence stay bit-identical —
+  /// which is what lets an adaptation harness drive a live directory and a
+  /// never-adapted reference from the same workload without sharing an Rng
+  /// whose consumption order differs between the two.
+  void advance(std::uint64_t seed, std::uint64_t tick);
 
   /// Field value at a point (sum over hot spots, no rasterization).
   double at(const Point& p) const noexcept;

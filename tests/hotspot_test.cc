@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace geogrid::workload {
 namespace {
 
@@ -134,6 +137,114 @@ TEST(HotSpotField, MigrationMovesTheLoad) {
   // After 20 epochs at least something about the field changed.
   const double after = field.region_load({0, 0, 16, 16});
   EXPECT_TRUE(before != after || field.hotspots()[0].center.x != 0.0);
+}
+
+TEST(HotSpotField, AdvanceIsDeterministicPerSeedAndTick) {
+  // advance(seed, tick) must be a pure function of the current hot spots
+  // and (seed, tick): two fields in the same state stepped with the same
+  // arguments stay identical, regardless of any interleaved sampling done
+  // on either field's behalf elsewhere.
+  HotSpotField::Options opt = small_field();
+  opt.hotspot_count = 12;
+  Rng rng_a(20), rng_b(20);
+  HotSpotField fa(opt, rng_a), fb(opt, rng_b);
+  Rng noise(99);
+  for (std::uint64_t tick = 0; tick < 25; ++tick) {
+    fa.advance(7, tick);
+    fb.sample_weighted_point(noise);  // unrelated use must not perturb fb
+    fb.advance(7, tick);
+    ASSERT_EQ(fa.hotspots().size(), fb.hotspots().size());
+    for (std::size_t i = 0; i < fa.hotspots().size(); ++i) {
+      EXPECT_DOUBLE_EQ(fa.hotspots()[i].center.x, fb.hotspots()[i].center.x);
+      EXPECT_DOUBLE_EQ(fa.hotspots()[i].center.y, fb.hotspots()[i].center.y);
+      EXPECT_DOUBLE_EQ(fa.hotspots()[i].radius, fb.hotspots()[i].radius);
+    }
+    EXPECT_DOUBLE_EQ(fa.total_load(), fb.total_load());
+  }
+}
+
+TEST(HotSpotField, AdvanceIsReplayable) {
+  // Re-running the same tick schedule from the same starting field must
+  // reproduce the trajectory exactly — the property the adaptation
+  // harness's live/reference comparison rests on.
+  HotSpotField::Options opt = small_field();
+  opt.hotspot_count = 12;
+  Rng rng_a(21), rng_b(21);
+  HotSpotField first(opt, rng_a);
+  std::vector<std::vector<HotSpot>> trajectory;
+  for (std::uint64_t tick = 0; tick < 10; ++tick) {
+    first.advance(42, tick);
+    trajectory.push_back(first.hotspots());
+  }
+  HotSpotField replay(opt, rng_b);
+  for (std::uint64_t tick = 0; tick < 10; ++tick) {
+    replay.advance(42, tick);
+    const auto& want = trajectory[tick];
+    const auto& got = replay.hotspots();
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_DOUBLE_EQ(want[i].center.x, got[i].center.x);
+      EXPECT_DOUBLE_EQ(want[i].center.y, got[i].center.y);
+    }
+  }
+}
+
+TEST(HotSpotField, AdvanceVariesBySeedTickAndHotSpot) {
+  HotSpotField::Options opt = small_field();
+  opt.hotspot_count = 12;
+  Rng rng_a(22), rng_b(22), rng_c(22);
+  HotSpotField fa(opt, rng_a), fb(opt, rng_b), fc(opt, rng_c);
+  fa.advance(1, 0);
+  fb.advance(2, 0);  // different seed
+  fc.advance(1, 1);  // different tick
+  auto same = [](const HotSpotField& x, const HotSpotField& y) {
+    for (std::size_t i = 0; i < x.hotspots().size(); ++i) {
+      if (x.hotspots()[i].center.x != y.hotspots()[i].center.x ||
+          x.hotspots()[i].center.y != y.hotspots()[i].center.y) {
+        return false;
+      }
+    }
+    return true;
+  };
+  EXPECT_FALSE(same(fa, fb));
+  EXPECT_FALSE(same(fa, fc));
+  // Hot spots move independently: not every displacement vector repeats.
+  const auto& hs = fa.hotspots();
+  bool varied = false;
+  for (std::size_t i = 1; i < hs.size() && !varied; ++i) {
+    varied = hs[i].center.x != hs[0].center.x;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(HotSpotField, AdvanceObeysMigrationInvariants) {
+  // Same physical rules as migrate(): on-plane centers, bounded step,
+  // unchanged radii, rebuilt prefix sums.
+  HotSpotField::Options opt = small_field();
+  opt.hotspot_count = 10;
+  Rng rng(23);
+  HotSpotField field(opt, rng);
+  for (std::uint64_t tick = 0; tick < 50; ++tick) {
+    const auto before = field.hotspots();
+    field.advance(9, tick);
+    const auto& after = field.hotspots();
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_GE(after[i].center.x, 0.0);
+      EXPECT_LE(after[i].center.x, 64.0);
+      EXPECT_GE(after[i].center.y, 0.0);
+      EXPECT_LE(after[i].center.y, 64.0);
+      EXPECT_DOUBLE_EQ(after[i].radius, before[i].radius);
+      EXPECT_LE(distance(before[i].center, after[i].center),
+                2.0 * before[i].radius + 1e-9);
+    }
+  }
+  double cells = 0.0;
+  for (std::size_t ix = 0; ix < 64; ++ix) {
+    for (std::size_t iy = 0; iy < 64; ++iy) {
+      cells += field.cell_workload(ix, iy);
+    }
+  }
+  EXPECT_NEAR(cells, field.total_load(), field.total_load() * 1e-9 + 1e-12);
 }
 
 TEST(HotSpotField, WeightedSamplingPrefersHotCells) {

@@ -186,6 +186,142 @@ TEST(Messages, EveryTypeRoundTrips) {
   for (const Message& m : all) expect_roundtrip(m);
 }
 
+// --- Mobile-user transfer message family --------------------------------
+//
+// EveryTypeRoundTrips proves byte-level round-trips; these additionally pin
+// each decoded *field* (mirroring codec_test.cc's subscription-family
+// coverage) so a codec change that swaps two same-width fields — which
+// still re-encodes identically — is caught.
+
+template <typename M>
+M field_roundtrip(const M& m) {
+  Writer w;
+  m.encode(w);
+  Reader r(w.bytes());
+  M out = M::decode(r);
+  EXPECT_TRUE(r.done()) << "decoder left trailing bytes";
+  return out;
+}
+
+TEST(Messages, LocationUpdateFieldsRoundTrip) {
+  LocationUpdate u;
+  u.user = UserId{0xdeadbeef};
+  u.location = Point{101.5, -7.25};
+  u.seq = 0x1122334455667788ULL;
+  u.has_prev = true;
+  u.prev_location = Point{100.0, -6.0};
+  u.reporter = sample_node(42, 12.5);
+  const LocationUpdate d = field_roundtrip(u);
+  EXPECT_EQ(d.user, u.user);
+  EXPECT_EQ(d.location, u.location);
+  EXPECT_EQ(d.seq, u.seq);
+  EXPECT_TRUE(d.has_prev);
+  EXPECT_EQ(d.prev_location, u.prev_location);
+  EXPECT_EQ(d.reporter.id, u.reporter.id);
+  EXPECT_EQ(d.reporter.coord, u.reporter.coord);
+  EXPECT_DOUBLE_EQ(d.reporter.capacity, u.reporter.capacity);
+}
+
+TEST(Messages, LocationUpdateFirstReportOmitsPrev) {
+  LocationUpdate u;
+  u.user = UserId{7};
+  u.location = Point{1.0, 2.0};
+  u.seq = 1;
+  u.reporter = sample_node(43);
+  const LocationUpdate d = field_roundtrip(u);
+  EXPECT_FALSE(d.has_prev);
+  EXPECT_EQ(d.prev_location, Point{});  // never read off the wire
+  // The optional field must actually be absent, not zero-encoded.
+  LocationUpdate with_prev = u;
+  with_prev.has_prev = true;
+  Writer wa, wb;
+  u.encode(wa);
+  with_prev.encode(wb);
+  EXPECT_EQ(wb.bytes().size(), wa.bytes().size() + 16);
+}
+
+TEST(Messages, LocationUpdateAckFieldsRoundTrip) {
+  const LocationUpdateAck a{UserId{0xcafe}, 0x9876543210ULL, RegionId{314}};
+  const LocationUpdateAck d = field_roundtrip(a);
+  EXPECT_EQ(d.user, a.user);
+  EXPECT_EQ(d.seq, a.seq);
+  EXPECT_EQ(d.region, a.region);
+}
+
+TEST(Messages, UserHandoffFieldsRoundTrip) {
+  // The eviction notice the old owning region receives after a migration:
+  // user/seq/new_region are all same-width neighbors of the ack's fields,
+  // so pin each one individually.
+  const UserHandoff h{UserId{0xbeef}, 0x13579bdf02468aceULL, RegionId{628}};
+  const UserHandoff d = field_roundtrip(h);
+  EXPECT_EQ(d.user, h.user);
+  EXPECT_EQ(d.seq, h.seq);
+  EXPECT_EQ(d.new_region, h.new_region);
+}
+
+TEST(Messages, LocateRequestFieldsRoundTrip) {
+  LocateRequest lr;
+  lr.request_id = 0xfeed0000beefULL;
+  lr.requester = sample_node(44, 99.0);
+  lr.user = UserId{0x5555};
+  lr.hint = Point{-3.5, 88.125};
+  const LocateRequest d = field_roundtrip(lr);
+  EXPECT_EQ(d.request_id, lr.request_id);
+  EXPECT_EQ(d.requester.id, lr.requester.id);
+  EXPECT_EQ(d.requester.coord, lr.requester.coord);
+  EXPECT_DOUBLE_EQ(d.requester.capacity, lr.requester.capacity);
+  EXPECT_EQ(d.user, lr.user);
+  EXPECT_EQ(d.hint, lr.hint);
+}
+
+TEST(Messages, LocateReplyFieldsRoundTrip) {
+  LocateReply reply;
+  reply.request_id = 0x0123456789abcdefULL;
+  reply.user = UserId{0xaaaa};
+  reply.found = true;
+  reply.location = Point{55.5, 66.75};
+  reply.seq = 0xfedcba98ULL;
+  reply.region = RegionId{2718};
+  reply.hops = 0x1234;
+  const LocateReply d = field_roundtrip(reply);
+  EXPECT_EQ(d.request_id, reply.request_id);
+  EXPECT_EQ(d.user, reply.user);
+  EXPECT_TRUE(d.found);
+  EXPECT_EQ(d.location, reply.location);
+  EXPECT_EQ(d.seq, reply.seq);
+  EXPECT_EQ(d.region, reply.region);
+  EXPECT_EQ(d.hops, reply.hops);
+}
+
+TEST(Messages, LocateReplyNotFoundKeepsDefaults) {
+  const LocateReply d = field_roundtrip(LocateReply{9002, UserId{999}});
+  EXPECT_FALSE(d.found);
+  EXPECT_EQ(d.seq, 0u);
+  EXPECT_EQ(d.hops, 0u);
+}
+
+TEST(Messages, RegionHandoffFieldsRoundTrip) {
+  RegionHandoff h;
+  h.region_state = sample_snapshot(31, true);
+  h.neighbors = {sample_snapshot(32, false), sample_snapshot(33, true)};
+  h.vacate = RegionId{77};
+  const RegionHandoff d = field_roundtrip(h);
+  EXPECT_EQ(d.region_state.region, h.region_state.region);
+  EXPECT_EQ(d.region_state.rect, h.region_state.rect);
+  EXPECT_EQ(d.region_state.primary.id, h.region_state.primary.id);
+  ASSERT_TRUE(d.region_state.secondary.has_value());
+  EXPECT_EQ(d.region_state.secondary->id, h.region_state.secondary->id);
+  EXPECT_DOUBLE_EQ(d.region_state.load, h.region_state.load);
+  EXPECT_DOUBLE_EQ(d.region_state.workload_index,
+                   h.region_state.workload_index);
+  EXPECT_EQ(d.region_state.split_depth, h.region_state.split_depth);
+  ASSERT_EQ(d.neighbors.size(), 2u);
+  EXPECT_EQ(d.neighbors[0].region, h.neighbors[0].region);
+  EXPECT_FALSE(d.neighbors[0].secondary.has_value());
+  EXPECT_EQ(d.neighbors[1].region, h.neighbors[1].region);
+  EXPECT_EQ(d.vacate, h.vacate);
+}
+
 TEST(Messages, UnknownTypeThrows) {
   Writer w;
   w.u16(0x7fff);

@@ -436,5 +436,75 @@ TEST(NotificationEngine, RecoversWhenDeltaHistoryWasTrimmed) {
   EXPECT_EQ(engine.counters().full_rescans, 1u);
 }
 
+TEST(NotificationEngine, RegionMigrationEmitsNoSpuriousNotifications) {
+  // Adaptation moves records between stores without moving users: a merge
+  // retires a region and ShardedDirectory::migrate_regions re-homes its
+  // records, pushing the affected users into the next epoch delta.  The
+  // engine must examine them (they are in the delta) and emit nothing —
+  // their positions did not change, so no boundary was crossed.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4, .track_deltas = true});
+  SubscriptionIndex subs(kPlane);
+  // Fence and range both covering the SE users who are about to migrate,
+  // plus a friend tracker on one of them.
+  subs.subscribe(sub_msg(1, Rect{44, 12, 12, 12}, "fence"), SubKind::kGeofence);
+  subs.subscribe(sub_msg(2, Rect{44, 12, 12, 12}, "track"), SubKind::kRange);
+  subs.subscribe_friend(sub_msg(3, Rect{}, "friend"), UserId{20});
+  NotificationEngine engine(dir, subs, {.threads = 1});
+
+  dir.apply_updates(std::vector<LocationRecord>{
+      rec(20, 48, 16, 1), rec(21, 50, 18, 1), rec(30, 12, 12, 1)});
+  EXPECT_EQ(engine.drain().size(), 5u);  // enters: 20 matches all 3, 21 both rects
+
+  // Merge SE away and migrate; users 20 and 21 change stores, not places.
+  const RegionId sw = fx.partition.locate({16, 16});
+  fx.partition.merge(sw, fx.partition.locate({48, 16}));
+  const auto rpt = dir.migrate_regions();
+  EXPECT_EQ(rpt.moved, 2u);
+  const auto delta = dir.changed_since(dir.ingest_epoch() - 1);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(*delta, (std::vector<UserId>{UserId{20}, UserId{21}}));
+
+  const auto batch = engine.drain();
+  EXPECT_TRUE(batch.empty()) << "migration alone must be silent";
+  EXPECT_EQ(engine.counters().stationary_skips, 2u);
+  EXPECT_EQ(engine.counters().full_rescans, 0u);  // delta path, not rescan
+
+  // The engine keeps working normally across the adaptation: real motion
+  // by a migrated user still notifies.
+  dir.apply_updates(std::vector<LocationRecord>{rec(20, 30, 30, 2)});
+  const auto after = engine.drain();
+  ASSERT_EQ(after.size(), 3u);  // leave fence, leave range, friend move
+  EXPECT_EQ(after[0].event, NotifyEvent::kLeave);
+  EXPECT_EQ(after[1].event, NotifyEvent::kLeave);
+  EXPECT_EQ(after[2].event, NotifyEvent::kMove);
+}
+
+TEST(NotificationEngine, MigrationMixedWithMotionNotifiesOnlyTheMovers) {
+  // One epoch of real movement immediately after a migration epoch: the
+  // drain spans both epochs and must emit events only for users whose
+  // position actually changed.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 2, .track_deltas = true});
+  SubscriptionIndex subs(kPlane);
+  subs.subscribe(sub_msg(1, Rect{40, 8, 20, 20}), SubKind::kRange);
+  NotificationEngine engine(dir, subs, {.threads = 1});
+
+  dir.apply_updates(std::vector<LocationRecord>{
+      rec(20, 48, 16, 1), rec(21, 50, 18, 1)});
+  EXPECT_EQ(engine.drain().size(), 2u);
+
+  fx.partition.merge(fx.partition.locate({16, 16}),
+                     fx.partition.locate({48, 16}));
+  EXPECT_EQ(dir.migrate_regions().moved, 2u);      // epoch N: silent
+  dir.apply_updates(std::vector<LocationRecord>{   // epoch N+1: one mover
+      rec(21, 51, 19, 2)});
+
+  const auto batch = engine.drain();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], (Notification{1, UserId{21}, NotifyEvent::kMove,
+                                    Point{51, 19}}));
+}
+
 }  // namespace
 }  // namespace geogrid::pubsub

@@ -386,5 +386,186 @@ TEST(ShardedDirectory, DefaultShardCountUsesHardware) {
   EXPECT_EQ(dir.size(), 50u);
 }
 
+// --- Region migration (adaptation support) ------------------------------
+
+/// Three users per quadrant at known points; user ids 1..12 with SE users
+/// being 4, 5, 6 (the quadrant retired by the merge tests below).  The SW
+/// users sit at y > 16 so the depth-2 split of that quadrant (cut line
+/// y = 16) strands all three in the new high half — and nobody lies
+/// exactly on a split line, where cover is legitimately ambiguous (covers()
+/// is closed on the high edge, so boundary records stay with their hinted
+/// region while a hint-less rebuild may home them across the line).
+std::vector<LocationRecord> quadrant_population() {
+  std::vector<LocationRecord> batch;
+  std::uint32_t id = 1;
+  for (const Point c : {Point{16, 19}, Point{48, 16}, Point{16, 48},
+                        Point{48, 48}}) {
+    for (int k = 0; k < 3; ++k) {
+      batch.push_back(rec(id++, c.x + k, c.y + k));
+    }
+  }
+  return batch;
+}
+
+TEST(ShardedDirectory, MigrateRegionsRehomesRecordsAfterMerge) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4, .track_deltas = true});
+  dir.apply_updates(quadrant_population());
+
+  const RegionId sw = fx.partition.locate({16, 16});
+  const RegionId se = fx.partition.locate({48, 16});
+  fx.partition.merge(sw, se);  // SE retired; its records are now misplaced
+
+  const auto rpt = dir.migrate_regions();
+  EXPECT_TRUE(rpt.complete());
+  EXPECT_EQ(rpt.moved, 3u);  // exactly the SE users
+  EXPECT_EQ(rpt.dropped, 0u);
+  EXPECT_EQ(rpt.stores_retired, 1u);
+  EXPECT_GE(rpt.scanned, 12u);
+  EXPECT_EQ(dir.counters().migration_passes, 1u);
+  EXPECT_EQ(dir.counters().migrated_records, 3u);
+
+  // Everyone is still locatable, and the migrated users now live in the
+  // widened region.
+  for (std::uint32_t u = 1; u <= 12; ++u) {
+    EXPECT_TRUE(dir.locate(UserId{u}).has_value()) << "user " << u;
+  }
+  for (std::uint32_t u = 4; u <= 6; ++u) {
+    EXPECT_EQ(dir.region_of(UserId{u}), sw) << "user " << u;
+  }
+
+  // Migration is snapshot-consistent: byte-identical to a directory built
+  // from scratch on the merged partition from the same records.
+  ShardedDirectory rebuilt(fx.partition, {.shards = 1});
+  rebuilt.apply_updates(quadrant_population());
+  EXPECT_EQ(snapshot(dir), snapshot(rebuilt));
+}
+
+TEST(ShardedDirectory, ChangedSinceReportsUsersVanishedViaMigration) {
+  // A consumer diffing epochs must learn that the SE users' records moved
+  // even though no update for them was ingested: migration pushes its own
+  // epoch delta.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4, .track_deltas = true});
+  dir.apply_updates(quadrant_population());
+  const std::uint64_t before = dir.ingest_epoch();
+
+  const RegionId sw = fx.partition.locate({16, 16});
+  fx.partition.merge(sw, fx.partition.locate({48, 16}));
+  dir.migrate_regions();
+
+  EXPECT_EQ(dir.ingest_epoch(), before + 1);  // migration is an epoch
+  const auto delta = dir.changed_since(before);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(*delta,
+            (std::vector<UserId>{UserId{4}, UserId{5}, UserId{6}}));
+  ASSERT_FALSE(dir.epoch_deltas().empty());
+  EXPECT_EQ(dir.epoch_deltas().back().epoch, before + 1);
+
+  // A published snapshot after migration reflects the new homes.
+  const auto snap = dir.publish_snapshot();
+  EXPECT_EQ(snap->epoch(), dir.ingest_epoch());
+  net::Writer a, b;
+  snap->serialize(a);
+  dir.serialize(b);
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(ShardedDirectory, MigrationNoOpWhenNothingMisplaced) {
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 2, .track_deltas = true});
+  dir.apply_updates(quadrant_population());
+  const std::uint64_t epoch = dir.ingest_epoch();
+  const auto deltas = dir.epoch_deltas().size();
+
+  const auto rpt = dir.migrate_regions();
+  EXPECT_TRUE(rpt.complete());
+  EXPECT_EQ(rpt.moved, 0u);
+  EXPECT_EQ(rpt.stores_retired, 0u);
+  EXPECT_EQ(dir.ingest_epoch(), epoch);  // no work -> no epoch, no delta
+  EXPECT_EQ(dir.epoch_deltas().size(), deltas);
+}
+
+TEST(ShardedDirectory, MigrationFilterDropLeavesRecordForRetry) {
+  // A vetoed transfer (the dropped-message fault) must not lose the
+  // record: it stays in the old store, still locatable, and a later clean
+  // pass completes the migration.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4, .track_deltas = true});
+  dir.apply_updates(quadrant_population());
+  const RegionId sw = fx.partition.locate({16, 16});
+  const RegionId se = fx.partition.locate({48, 16});
+  fx.partition.merge(sw, se);
+
+  const auto first = dir.migrate_regions(
+      [](UserId user, RegionId, RegionId) { return user != UserId{5}; });
+  EXPECT_FALSE(first.complete());
+  EXPECT_EQ(first.moved, 2u);
+  EXPECT_EQ(first.dropped, 1u);
+  EXPECT_EQ(first.stores_retired, 0u);  // old store still holds user 5
+  EXPECT_EQ(dir.counters().migration_dropped, 1u);
+  ASSERT_TRUE(dir.locate(UserId{5}).has_value());
+  EXPECT_EQ(dir.region_of(UserId{5}), se);  // left in place, not lost
+
+  const auto retry = dir.migrate_regions();
+  EXPECT_TRUE(retry.complete());
+  EXPECT_EQ(retry.moved, 1u);
+  EXPECT_EQ(retry.stores_retired, 1u);
+  EXPECT_EQ(dir.region_of(UserId{5}), sw);
+
+  ShardedDirectory rebuilt(fx.partition, {.shards = 1});
+  rebuilt.apply_updates(quadrant_population());
+  EXPECT_EQ(snapshot(dir), snapshot(rebuilt));
+}
+
+TEST(ShardedDirectory, MigrationIsShardCountInvariant) {
+  // The determinism contract extends to migration: the same trace, merge
+  // and migration through K=1 and K=8 leave byte-identical stores and the
+  // same migration report.
+  QuadrantFixture fx1, fx8;
+  ShardedDirectory serial(fx1.partition, {.shards = 1, .track_deltas = true});
+  ShardedDirectory sharded(fx8.partition, {.shards = 8, .track_deltas = true});
+  for (const auto& batch : make_trace(200, 10, 55)) {
+    serial.apply_updates(batch);
+    sharded.apply_updates(batch);
+  }
+  for (auto* fx : {&fx1, &fx8}) {
+    fx->partition.merge(fx->partition.locate({16, 16}),
+                        fx->partition.locate({48, 16}));
+  }
+  const auto a = serial.migrate_regions();
+  const auto b = sharded.migrate_regions();
+  EXPECT_EQ(a.moved, b.moved);
+  EXPECT_EQ(a.stores_retired, b.stores_retired);
+  EXPECT_EQ(snapshot(serial), snapshot(sharded));
+  const auto da = serial.changed_since(serial.ingest_epoch() - 1);
+  const auto db = sharded.changed_since(sharded.ingest_epoch() - 1);
+  ASSERT_TRUE(da.has_value());
+  ASSERT_TRUE(db.has_value());
+  EXPECT_EQ(*da, *db);
+}
+
+TEST(ShardedDirectory, MigrationAfterSplitMovesOnlyTheSplitHalf) {
+  // Splitting a region strands the records of the half that moved to the
+  // new region; everyone else must be untouched.
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4, .track_deltas = true});
+  dir.apply_updates(quadrant_population());
+
+  const RegionId sw = fx.partition.locate({16, 16});
+  const NodeId extra = fx.partition.add_node({NodeId{9}, Point{20, 20}, 10.0});
+  fx.partition.split(sw, extra);
+
+  const auto rpt = dir.migrate_regions();
+  EXPECT_TRUE(rpt.complete());
+  EXPECT_GT(rpt.moved, 0u);
+  EXPECT_LE(rpt.moved, 3u);  // at most the SW users
+  EXPECT_EQ(rpt.stores_retired, 0u);  // split retires nothing
+
+  ShardedDirectory rebuilt(fx.partition, {.shards = 1});
+  rebuilt.apply_updates(quadrant_population());
+  EXPECT_EQ(snapshot(dir), snapshot(rebuilt));
+}
+
 }  // namespace
 }  // namespace geogrid::mobility
