@@ -5,18 +5,24 @@
 // virtual second the seeded random-waypoint/hot-spot walk advances and every
 // user reports its position, so the numbers include region lookup, handoff
 // eviction and spatial-index maintenance — not just hash-map inserts.
-// Three engines run on identical traces:
+// The engines run on identical traces:
 //
 //   serial   — mobility::LocationDirectory, one apply_update per report
 //              (the committed-baseline configuration; updates_per_sec)
-//   k1       — mobility::ShardedDirectory with 1 shard: the batched fast
-//              path with the rect-memo locate, still single-threaded
-//   sharded  — ShardedDirectory with the default shard count (hardware
-//              threads), the parallel configuration
+//   K-shard  — mobility::ShardedDirectory swept over explicit shard counts
+//              (1, 2, 4, 8, 16): the batched fast path with the rect-memo
+//              locate.  K = 1 is the single-threaded batched configuration
+//              (updates_per_sec_k1); K = 8 is the headline parallel
+//              configuration (updates_per_sec_sharded), recorded together
+//              with the real thread count it ran and the host's core count
+//              — never a silently-collapsed default.
 //
 // The engines' applied/stale/handoff counters are cross-checked after every
-// population — a mismatch aborts the bench, so the throughput numbers can
-// only come from equivalent work.
+// run — a mismatch aborts the bench, so the throughput numbers can only
+// come from equivalent work.  On top of the counters, every swept shard
+// count serializes its final directory canonically and the bytes must match
+// the K = 1 reference exactly: the parallel path is held to byte-identical
+// results, not just matching tallies.
 //
 // Locate cost is measured two ways: wall-clock latency of point lookups,
 // and the greedy-routing hop count a LocateRequest would pay on the wire
@@ -25,11 +31,14 @@
 // Populations sweep 10k-100k by default; set GEOGRID_BENCH_LARGE=1 to add
 // the 1M-user point, or GEOGRID_BENCH_POPS=10000,50000 to pick the sweep
 // explicitly.  Set GEOGRID_JSON_OUT=<path> to write the machine-readable
-// baseline (BENCH_location_updates.json).
+// baseline (BENCH_location_updates.json).  The JSON carries the full
+// per-population thread curve plus "host_cores", so a scaling gate can
+// judge the curve against what the host could physically deliver.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -39,6 +48,7 @@
 #include "mobility/directory.h"
 #include "mobility/motion.h"
 #include "mobility/sharded_directory.h"
+#include "net/codec.h"
 
 using namespace geogrid;
 
@@ -48,13 +58,25 @@ constexpr double kVirtualSeconds = 60.0;
 constexpr std::size_t kNodes = 1000;
 constexpr std::size_t kLocateSamples = 100'000;
 constexpr std::size_t kHopTargets = 2'000;
+/// Explicit shard counts for the scaling curve.  Every entry runs the same
+/// trace; K = 1 and K = 8 double as the baseline keys.
+constexpr std::size_t kShardSweep[] = {1, 2, 4, 8, 16};
+constexpr std::size_t kHeadlineShards = 8;
+
+struct CurvePoint {
+  std::size_t shards = 0;   ///< requested and actual shard count
+  std::size_t threads = 0;  ///< pool tasks executing the batch (== shards)
+  double updates_per_sec = 0.0;
+};
 
 struct RunResult {
   std::size_t users = 0;
   double updates_per_sec = 0.0;  ///< serial LocationDirectory (baseline key)
   double updates_per_sec_k1 = 0.0;       ///< ShardedDirectory, 1 shard
-  double updates_per_sec_sharded = 0.0;  ///< ShardedDirectory, default shards
-  std::size_t shards = 0;                ///< shard count of the sharded run
+  double updates_per_sec_sharded = 0.0;  ///< ShardedDirectory, 8 shards
+  std::size_t shards = 0;   ///< shard count of the headline sharded run
+  std::size_t threads = 0;  ///< thread count of the headline sharded run
+  std::vector<CurvePoint> curve;  ///< the full shard sweep
   double locate_ns = 0.0;         ///< mean wall-clock point-lookup latency
   double locate_hops_mean = 0.0;  ///< greedy-routing hops to the owner
   double locate_hops_max = 0.0;
@@ -123,6 +145,12 @@ void check_parity(const char* what, std::uint64_t a, std::uint64_t b) {
   }
 }
 
+std::vector<std::byte> canonical_bytes(const mobility::ShardedDirectory& dir) {
+  net::Writer w;
+  dir.serialize(w);
+  return std::move(w).take();
+}
+
 RunResult measure(std::size_t user_count, std::uint64_t seed) {
   core::SimulationOptions opt;
   opt.mode = core::GridMode::kDualPeer;
@@ -140,60 +168,76 @@ RunResult measure(std::size_t user_count, std::uint64_t seed) {
   r.updates_per_sec = static_cast<double>(r.updates) / serial_secs;
   r.handoffs = serial_dir.counters().handoffs;
 
-  mobility::ShardedDirectory k1_dir(sim.partition(), {.shards = 1});
-  const double k1_secs = run_sharded(sim, user_count, seed, k1_dir);
-  r.updates_per_sec_k1 = static_cast<double>(r.updates) / k1_secs;
-
-  mobility::ShardedDirectory sharded_dir(sim.partition(), {.shards = 0});
-  const double sharded_secs = run_sharded(sim, user_count, seed, sharded_dir);
-  r.updates_per_sec_sharded = static_cast<double>(r.updates) / sharded_secs;
-  r.shards = sharded_dir.shard_count();
-
-  // All three engines consumed the same trace; a counter mismatch means a
-  // fast path cut a corner and its throughput number is meaningless.
-  for (const auto* d : {&k1_dir, &sharded_dir}) {
+  // Explicit shard sweep on the same trace.  Every configuration must
+  // reproduce the serial counters AND the K = 1 canonical bytes.
+  std::vector<std::byte> reference_bytes;
+  for (const std::size_t k : kShardSweep) {
+    mobility::ShardedDirectory dir(sim.partition(), {.shards = k});
+    const double secs = run_sharded(sim, user_count, seed, dir);
     check_parity("updates_applied", serial_dir.counters().updates_applied,
-                 d->counters().updates_applied);
+                 dir.counters().updates_applied);
     check_parity("updates_stale", serial_dir.counters().updates_stale,
-                 d->counters().updates_stale);
+                 dir.counters().updates_stale);
     check_parity("handoffs", serial_dir.counters().handoffs,
-                 d->counters().handoffs);
-  }
+                 dir.counters().handoffs);
+    const std::vector<std::byte> bytes = canonical_bytes(dir);
+    if (reference_bytes.empty()) {
+      reference_bytes = bytes;
+    } else if (bytes != reference_bytes) {
+      std::fprintf(stderr,
+                   "shard-count divergence: K=%zu serializes differently "
+                   "from K=%zu\n",
+                   k, kShardSweep[0]);
+      std::exit(1);
+    }
 
-  // Point-lookup latency over a deterministic sample of the population,
-  // against the sharded engine's per-user memo.
-  Rng sample_rng(seed + 1);
-  std::vector<UserId> probes(kLocateSamples);
-  for (auto& p : probes) {
-    p = UserId{static_cast<std::uint32_t>(
-        sample_rng.uniform_index(user_count) + 1)};
-  }
-  const auto locate_start = std::chrono::steady_clock::now();
-  std::size_t found = 0;
-  for (const UserId u : probes) {
-    if (sharded_dir.locate(u).has_value()) ++found;
-  }
-  const double locate_secs = seconds_since(locate_start);
-  r.locate_ns = locate_secs * 1e9 / static_cast<double>(probes.size());
-  if (found != probes.size()) {
-    std::fprintf(stderr, "locate lost users: %zu/%zu\n", found,
-                 probes.size());
-    std::exit(1);
-  }
+    CurvePoint pt;
+    pt.shards = dir.shard_count();
+    pt.threads = dir.shard_count();
+    pt.updates_per_sec = static_cast<double>(r.updates) / secs;
+    r.curve.push_back(pt);
+    if (k == 1) r.updates_per_sec_k1 = pt.updates_per_sec;
+    if (k == kHeadlineShards) {
+      r.updates_per_sec_sharded = pt.updates_per_sec;
+      r.shards = pt.shards;
+      r.threads = pt.threads;
 
-  // Routing cost a LocateRequest pays to reach the owning region.
-  std::vector<Point> targets;
-  targets.reserve(kHopTargets);
-  for (std::size_t i = 0; i < kHopTargets; ++i) {
-    const UserId u{static_cast<std::uint32_t>(
-        sample_rng.uniform_index(user_count) + 1)};
-    targets.push_back(sharded_dir.locate(u)->position);
+      // Point-lookup latency over a deterministic sample of the population,
+      // against this (headline) engine's per-user memo.
+      Rng sample_rng(seed + 1);
+      std::vector<UserId> probes(kLocateSamples);
+      for (auto& p : probes) {
+        p = UserId{static_cast<std::uint32_t>(
+            sample_rng.uniform_index(user_count) + 1)};
+      }
+      const auto locate_start = std::chrono::steady_clock::now();
+      std::size_t found = 0;
+      for (const UserId u : probes) {
+        if (dir.locate(u).has_value()) ++found;
+      }
+      const double locate_secs = seconds_since(locate_start);
+      r.locate_ns = locate_secs * 1e9 / static_cast<double>(probes.size());
+      if (found != probes.size()) {
+        std::fprintf(stderr, "locate lost users: %zu/%zu\n", found,
+                     probes.size());
+        std::exit(1);
+      }
+
+      // Routing cost a LocateRequest pays to reach the owning region.
+      std::vector<Point> targets;
+      targets.reserve(kHopTargets);
+      for (std::size_t i = 0; i < kHopTargets; ++i) {
+        const UserId u{static_cast<std::uint32_t>(
+            sample_rng.uniform_index(user_count) + 1)};
+        targets.push_back(dir.locate(u)->position);
+      }
+      Rng hop_rng(seed + 2);
+      const Summary hops =
+          metrics::target_hop_summary(sim.partition(), hop_rng, targets);
+      r.locate_hops_mean = hops.mean;
+      r.locate_hops_max = hops.max;
+    }
   }
-  Rng hop_rng(seed + 2);
-  const Summary hops =
-      metrics::target_hop_summary(sim.partition(), hop_rng, targets);
-  r.locate_hops_mean = hops.mean;
-  r.locate_hops_max = hops.max;
   return r;
 }
 
@@ -222,34 +266,40 @@ std::vector<std::size_t> pick_populations() {
 
 int main() {
   const std::vector<std::size_t> populations = pick_populations();
+  const std::size_t host_cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
   std::printf("Location updates: %zu-node engine grid, %.0f virtual seconds "
-              "of motion per point\n",
-              kNodes, kVirtualSeconds);
+              "of motion per point (host cores: %zu)\n",
+              kNodes, kVirtualSeconds, host_cores);
   auto csv = bench::csv_for("location_updates");
   if (csv) {
-    csv->header({"users", "updates", "updates_per_sec", "updates_per_sec_k1",
-                 "updates_per_sec_sharded", "shards", "locate_ns",
-                 "locate_hops_mean", "locate_hops_max", "handoffs"});
+    csv->header({"users", "updates", "shards", "threads", "updates_per_sec",
+                 "locate_ns", "locate_hops_mean", "locate_hops_max",
+                 "handoffs"});
   }
 
   std::vector<RunResult> results;
-  std::printf("%9s %12s %13s %13s %16s %7s %11s %12s %9s\n", "users",
+  std::printf("%9s %12s %13s %13s %16s %7s %8s %11s %12s %9s\n", "users",
               "updates", "serial/sec", "batched/sec", "sharded/sec", "shards",
-              "locate ns", "locate hops", "handoffs");
+              "threads", "locate ns", "locate hops", "handoffs");
   for (const std::size_t users : populations) {
     const RunResult r = measure(users, 4242);
     results.push_back(r);
-    std::printf("%9zu %12llu %13.0f %13.0f %16.0f %7zu %11.1f %12.2f %9llu\n",
-                r.users, static_cast<unsigned long long>(r.updates),
-                r.updates_per_sec, r.updates_per_sec_k1,
-                r.updates_per_sec_sharded, r.shards, r.locate_ns,
-                r.locate_hops_mean,
-                static_cast<unsigned long long>(r.handoffs));
-    if (csv) {
-      csv->row(r.users, r.updates, r.updates_per_sec, r.updates_per_sec_k1,
-               r.updates_per_sec_sharded, r.shards, r.locate_ns,
-               r.locate_hops_mean, r.locate_hops_max, r.handoffs);
+    std::printf(
+        "%9zu %12llu %13.0f %13.0f %16.0f %7zu %8zu %11.1f %12.2f %9llu\n",
+        r.users, static_cast<unsigned long long>(r.updates), r.updates_per_sec,
+        r.updates_per_sec_k1, r.updates_per_sec_sharded, r.shards, r.threads,
+        r.locate_ns, r.locate_hops_mean,
+        static_cast<unsigned long long>(r.handoffs));
+    for (const CurvePoint& pt : r.curve) {
+      std::printf("          shards=%-3zu threads=%-3zu %16.0f updates/sec\n",
+                  pt.shards, pt.threads, pt.updates_per_sec);
+      if (csv) {
+        csv->row(r.users, r.updates, pt.shards, pt.threads, pt.updates_per_sec,
+                 r.locate_ns, r.locate_hops_mean, r.locate_hops_max,
+                 r.handoffs);
+      }
     }
   }
 
@@ -261,8 +311,9 @@ int main() {
     }
     std::fprintf(f, "{\n  \"bench\": \"location_updates\",\n"
                     "  \"nodes\": %zu,\n  \"virtual_seconds\": %.0f,\n"
+                    "  \"host_cores\": %zu,\n"
                     "  \"points\": [\n",
-                 kNodes, kVirtualSeconds);
+                 kNodes, kVirtualSeconds, host_cores);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
       std::fprintf(
@@ -270,14 +321,21 @@ int main() {
           "    {\"users\": %zu, \"updates\": %llu, "
           "\"updates_per_sec\": %.0f, \"updates_per_sec_k1\": %.0f, "
           "\"updates_per_sec_sharded\": %.0f, \"shards\": %zu, "
-          "\"locate_ns\": %.1f, "
+          "\"threads\": %zu, \"locate_ns\": %.1f, "
           "\"locate_hops_mean\": %.3f, \"locate_hops_max\": %.0f, "
-          "\"handoffs\": %llu}%s\n",
+          "\"handoffs\": %llu,\n     \"thread_curve\": [",
           r.users, static_cast<unsigned long long>(r.updates),
           r.updates_per_sec, r.updates_per_sec_k1, r.updates_per_sec_sharded,
-          r.shards, r.locate_ns, r.locate_hops_mean, r.locate_hops_max,
-          static_cast<unsigned long long>(r.handoffs),
-          i + 1 < results.size() ? "," : "");
+          r.shards, r.threads, r.locate_ns, r.locate_hops_mean,
+          r.locate_hops_max, static_cast<unsigned long long>(r.handoffs));
+      for (std::size_t c = 0; c < r.curve.size(); ++c) {
+        const CurvePoint& pt = r.curve[c];
+        std::fprintf(f, "%s{\"threads\": %zu, \"shards\": %zu, "
+                        "\"updates_per_sec\": %.0f}",
+                     c == 0 ? "" : ", ", pt.threads, pt.shards,
+                     pt.updates_per_sec);
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -11,9 +11,12 @@
 //   serial      — NotificationEngine over a K=1 directory, 1 match thread
 //                 (the determinism reference)
 //   incremental — NotificationEngine over a K=8 delta-tracking directory,
-//                 default threads: matches only the epoch's ingest delta
-//                 (the measured configuration; notifications_per_sec)
-//   re-query    — the same engine over a directory without delta
+//                 swept over explicit match-thread counts (1, 2, 4, 8,
+//                 16): matches only the epoch's ingest delta.  The
+//                 8-thread entry is the headline configuration
+//                 (notifications_per_sec); the full curve and the host's
+//                 core count land in the baseline JSON.
+//   re-query    — an 8-thread engine over a directory without delta
 //                 tracking: every drain falls back to rescanning all N
 //                 resident users, the per-epoch re-query baseline
 //                 (notifications_per_sec_requery)
@@ -37,7 +40,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -56,6 +61,14 @@ constexpr std::size_t kNodes = 1000;
 constexpr double kMoveFraction = 0.01;  ///< population reporting per epoch
 constexpr double kFriendFraction = 0.10;
 constexpr double kRangeFraction = 0.45;  ///< rest of the rect subs: geofence
+/// Explicit match-thread counts for the scaling curve; 8 is the headline.
+constexpr std::size_t kThreadSweep[] = {1, 2, 4, 8, 16};
+constexpr std::size_t kHeadlineThreads = 8;
+
+struct CurvePoint {
+  std::size_t threads = 0;
+  double notifications_per_sec = 0.0;
+};
 
 struct RunResult {
   std::size_t users = 0;
@@ -67,6 +80,7 @@ struct RunResult {
   double notifications_per_sec_requery = 0.0;
   double speedup_incremental = 0.0;        ///< requery time / incremental time
   std::size_t threads = 0;
+  std::vector<CurvePoint> curve;           ///< the full thread sweep
   double match_p50_us = 0.0;
   double match_p99_us = 0.0;
 };
@@ -153,12 +167,20 @@ RunResult measure(std::size_t user_count, std::size_t sub_count,
       sim.partition(), {.shards = 8, .cell_size = cell_size});
 
   // One shared subscription index: drains are sequential and matching is
-  // read-only, so all three engines can probe the same frozen grid.
+  // read-only, so all the engines can probe the same frozen grid.  The
+  // sweep engines share dir_inc, so none of them may trim its delta
+  // history out from under the others.
   pubsub::SubscriptionIndex subs(plane);
   pubsub::NotificationEngine serial(dir_serial, subs, {.threads = 1});
-  pubsub::NotificationEngine incremental(dir_inc, subs, {.threads = 0});
-  pubsub::NotificationEngine requery(dir_requery, subs, {.threads = 0});
-  r.threads = incremental.thread_count();
+  std::vector<std::unique_ptr<pubsub::NotificationEngine>> sweep;
+  for (const std::size_t t : kThreadSweep) {
+    sweep.push_back(std::make_unique<pubsub::NotificationEngine>(
+        dir_inc, subs,
+        pubsub::NotificationEngine::Options{.threads = t,
+                                            .trim_consumed = false}));
+  }
+  pubsub::NotificationEngine requery(dir_requery, subs,
+                                     {.threads = kHeadlineThreads});
 
   // Initial placement (hot-spot attracted, like the motion workloads) and
   // the bootstrap drain — taken against an empty index so the steady-state
@@ -180,17 +202,23 @@ RunResult measure(std::size_t user_count, std::size_t sub_count,
     dir_inc.apply_updates(batch);
     dir_requery.apply_updates(batch);
   }
-  if (!serial.drain().empty() || !incremental.drain().empty() ||
-      !requery.drain().empty()) {
+  if (!serial.drain().empty() || !requery.drain().empty()) {
     fail("bootstrap drain emitted against an empty index");
+  }
+  for (auto& engine : sweep) {
+    if (!engine->drain().empty()) {
+      fail("bootstrap drain emitted against an empty index");
+    }
   }
 
   install_subscriptions(subs, sim.field(), sub_count, user_count, seed + 17);
   subs.refresh();  // final pitch tune outside every timed drain
 
   // Steady state: kMoveFraction of the population moves (a local random
-  // walk) and reports per epoch; everyone else is silent.
-  double inc_secs = 0.0;
+  // walk) and reports per epoch; everyone else is silent.  Every sweep
+  // engine drains every epoch and must reproduce the serial reference
+  // stream byte-for-byte.
+  std::vector<double> sweep_secs(sweep.size(), 0.0);
   double req_secs = 0.0;
   std::uint64_t notifications = 0;
   std::vector<mobility::LocationRecord> batch;
@@ -212,37 +240,57 @@ RunResult measure(std::size_t user_count, std::size_t sub_count,
     dir_requery.apply_updates(batch);
 
     const auto reference = serial.drain();
+    const auto want = stream_bytes(reference);
 
-    const auto t_inc = std::chrono::steady_clock::now();
-    const auto inc = incremental.drain();
-    inc_secs += seconds_since(t_inc);
+    // Build each directory's copy-on-write snapshot outside the timed
+    // region: the first drain at a new epoch pays the snapshot build and
+    // later drains reuse it, which would otherwise bill that one-off cost
+    // to whichever sweep entry happens to run first.  The curve times
+    // matching, not snapshot construction.
+    (void)dir_inc.publish_snapshot();
+    (void)dir_requery.publish_snapshot();
+
+    for (std::size_t s = 0; s < sweep.size(); ++s) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto inc = sweep[s]->drain();
+      sweep_secs[s] += seconds_since(t0);
+      if (stream_bytes(inc) != want) {
+        fail("incremental (K=8) vs serial (K=1, 1 thread)");
+      }
+      if (s == 0) notifications += inc.size();
+    }
 
     const auto t_req = std::chrono::steady_clock::now();
     const auto req = requery.drain();
     req_secs += seconds_since(t_req);
-
-    const auto want = stream_bytes(reference);
-    if (stream_bytes(inc) != want) {
-      fail("incremental (K=8, default threads) vs serial (K=1, 1 thread)");
-    }
     if (stream_bytes(req) != want) {
       fail("re-query rescan vs incremental");
     }
-    notifications += inc.size();
   }
 
   r.notifications = notifications;
-  r.delta_users = incremental.counters().delta_users;
-  r.notifications_per_sec = static_cast<double>(notifications) / inc_secs;
+  double headline_secs = sweep_secs.back();
+  for (std::size_t s = 0; s < sweep.size(); ++s) {
+    CurvePoint pt;
+    pt.threads = sweep[s]->thread_count();
+    pt.notifications_per_sec =
+        static_cast<double>(notifications) / sweep_secs[s];
+    r.curve.push_back(pt);
+    if (kThreadSweep[s] == kHeadlineThreads) {
+      headline_secs = sweep_secs[s];
+      r.notifications_per_sec = pt.notifications_per_sec;
+      r.threads = pt.threads;
+      r.delta_users = sweep[s]->counters().delta_users;
+      r.match_p50_us = sweep[s]->match_latency().percentile_micros(50);
+      r.match_p99_us = sweep[s]->match_latency().percentile_micros(99);
+    }
+    if (sweep[s]->counters().full_rescans != 0) {
+      fail("incremental engine fell back to a rescan");
+    }
+  }
   r.notifications_per_sec_requery =
       static_cast<double>(notifications) / req_secs;
-  r.speedup_incremental = req_secs / inc_secs;
-  r.match_p50_us = incremental.match_latency().percentile_micros(50);
-  r.match_p99_us = incremental.match_latency().percentile_micros(99);
-
-  if (incremental.counters().full_rescans != 0) {
-    fail("incremental engine fell back to a rescan");
-  }
+  r.speedup_incremental = req_secs / headline_secs;
   return r;
 }
 
@@ -274,10 +322,13 @@ int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const std::size_t epochs = smoke ? 10 : 20;
   const std::vector<std::size_t> populations = pick_populations(smoke);
+  const std::size_t host_cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
   std::printf("Notifications: %zu-node engine grid, subscriptions = users, "
-              "%.0f%% of the population moves per epoch, %zu epochs\n",
-              kNodes, kMoveFraction * 100.0, epochs);
+              "%.0f%% of the population moves per epoch, %zu epochs "
+              "(host cores: %zu)\n",
+              kNodes, kMoveFraction * 100.0, epochs, host_cores);
   auto csv = bench::csv_for("notifications");
   if (csv) {
     csv->header({"users", "subs", "epochs", "notifications",
@@ -301,6 +352,10 @@ int main(int argc, char** argv) {
                 "users\n",
                 r.match_p50_us, r.match_p99_us,
                 static_cast<unsigned long long>(r.delta_users));
+    for (const CurvePoint& pt : r.curve) {
+      std::printf("          threads=%-3zu %16.0f notifications/sec\n",
+                  pt.threads, pt.notifications_per_sec);
+    }
     if (csv) {
       csv->row(r.users, r.subs, r.epochs, r.notifications,
                r.notifications_per_sec, r.notifications_per_sec_requery,
@@ -319,8 +374,9 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "{\n  \"bench\": \"notifications\",\n"
                     "  \"nodes\": %zu,\n  \"move_fraction\": %.3f,\n"
+                    "  \"host_cores\": %zu,\n"
                     "  \"points\": [\n",
-                 kNodes, kMoveFraction);
+                 kNodes, kMoveFraction, host_cores);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
       std::fprintf(
@@ -329,12 +385,19 @@ int main(int argc, char** argv) {
           "\"notifications\": %llu, \"notifications_per_sec\": %.0f, "
           "\"notifications_per_sec_requery\": %.0f, "
           "\"speedup_incremental\": %.2f, \"threads\": %zu, "
-          "\"match_p50_us\": %.2f, \"match_p99_us\": %.2f}%s\n",
+          "\"match_p50_us\": %.2f, \"match_p99_us\": %.2f,\n"
+          "     \"thread_curve\": [",
           r.users, r.subs, r.epochs,
           static_cast<unsigned long long>(r.notifications),
           r.notifications_per_sec, r.notifications_per_sec_requery,
-          r.speedup_incremental, r.threads, r.match_p50_us, r.match_p99_us,
-          i + 1 < results.size() ? "," : "");
+          r.speedup_incremental, r.threads, r.match_p50_us, r.match_p99_us);
+      for (std::size_t c = 0; c < r.curve.size(); ++c) {
+        std::fprintf(f,
+                     "%s{\"threads\": %zu, \"notifications_per_sec\": %.0f}",
+                     c == 0 ? "" : ", ", r.curve[c].threads,
+                     r.curve[c].notifications_per_sec);
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

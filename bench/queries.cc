@@ -12,7 +12,11 @@
 //   batched  — mobility::QueryEngine with 1 thread against a published
 //              DirectorySnapshot: grid-indexed region discovery through
 //              the shared RegionResolver, still single-threaded
-//   parallel — QueryEngine with the default thread count (hardware)
+//   parallel — QueryEngine swept over explicit thread counts (1, 2, 4, 8,
+//              16) on the run_pinned epoch-reclamation hot path; the
+//              headline parallel number is the 8-thread entry, recorded
+//              with the host's core count so a scaling gate can judge the
+//              curve against what the machine could physically deliver
 //
 // The range footprints come from services::Geolocator::query_area — the
 // paper's radius-γ area query mapped to its plane-clamped bounding box
@@ -39,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -59,14 +64,23 @@ constexpr std::size_t kQueries = 120'000;
 constexpr std::size_t kBatchSize = 4096;
 constexpr std::size_t kLatencySample = 30'000;
 constexpr std::size_t kNearestK = 16;
+/// Explicit thread counts for the scaling curve; 8 is the headline entry.
+constexpr std::size_t kThreadSweep[] = {1, 2, 4, 8, 16};
+constexpr std::size_t kHeadlineThreads = 8;
+
+struct CurvePoint {
+  std::size_t threads = 0;
+  double queries_per_sec = 0.0;
+};
 
 struct RunResult {
   std::size_t users = 0;
   std::size_t queries = 0;
   double queries_per_sec = 0.0;           ///< serial per-call (baseline key)
   double queries_per_sec_batched = 0.0;   ///< QueryEngine, 1 thread
-  double queries_per_sec_parallel = 0.0;  ///< QueryEngine, default threads
+  double queries_per_sec_parallel = 0.0;  ///< QueryEngine, 8 threads, pinned
   std::size_t threads = 0;                ///< thread count of the parallel run
+  std::vector<CurvePoint> curve;          ///< the full thread sweep
   double speedup_batched = 0.0;
   std::uint64_t records_returned = 0;
   double locate_p50_us = 0.0, locate_p99_us = 0.0;
@@ -282,21 +296,32 @@ RunResult measure(std::size_t user_count, std::uint64_t seed) {
   r.batched_p50_us = batched_lat.percentile_micros(50);
   r.batched_p99_us = batched_lat.percentile_micros(99);
 
-  // --- parallel engine, default threads -------------------------------
-  mobility::QueryEngine parallel(dir, {.threads = 0});
-  r.threads = parallel.thread_count();
-  {
+  // --- parallel engine thread sweep, pinned-snapshot hot path ----------
+  // One publish up front; every engine in the sweep then acquires the
+  // snapshot through run_pinned (epoch reclamation, no shared refcount) —
+  // the concurrent-reader deployment measured at each thread count.
+  // Every entry must reproduce the batched engine's bytes exactly.
+  (void)dir.publish_snapshot();
+  for (const std::size_t t : kThreadSweep) {
+    mobility::QueryEngine engine(dir, {.threads = t});
     std::vector<mobility::QueryResult> all;
     all.reserve(kQueries);
     const auto start = std::chrono::steady_clock::now();
     for (std::size_t lo = 0; lo < queries.size(); lo += kBatchSize) {
       const std::size_t n = std::min(kBatchSize, queries.size() - lo);
-      auto part = parallel.run(std::span(queries).subspan(lo, n));
+      auto part = engine.run_pinned(std::span(queries).subspan(lo, n));
       for (auto& res : part) all.push_back(std::move(res));
     }
     const double secs = seconds_since(start);
-    r.queries_per_sec_parallel = static_cast<double>(kQueries) / secs;
     if (result_bytes(all) != batched_bytes) fail("thread-count invariance");
+    CurvePoint pt;
+    pt.threads = engine.thread_count();
+    pt.queries_per_sec = static_cast<double>(kQueries) / secs;
+    r.curve.push_back(pt);
+    if (t == kHeadlineThreads) {
+      r.queries_per_sec_parallel = pt.queries_per_sec;
+      r.threads = pt.threads;
+    }
   }
 
   // --- shard-count invariance: K=8 engine, same queries ----------------
@@ -341,10 +366,12 @@ std::vector<std::size_t> pick_populations() {
 
 int main() {
   const std::vector<std::size_t> populations = pick_populations();
+  const std::size_t host_cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
   std::printf("Queries: %zu-node engine grid, %zu mixed locate/range/kNN "
-              "queries per point (k=%zu)\n",
-              kNodes, kQueries, kNearestK);
+              "queries per point (k=%zu, host cores: %zu)\n",
+              kNodes, kQueries, kNearestK, host_cores);
   auto csv = bench::csv_for("queries");
   if (csv) {
     csv->header({"users", "queries", "queries_per_sec",
@@ -374,6 +401,10 @@ int main() {
     std::printf("          batched  per-query p50/p99 %.2f/%.2fus "
                 "(amortized over %zu-query batches)\n",
                 r.batched_p50_us, r.batched_p99_us, kBatchSize);
+    for (const CurvePoint& pt : r.curve) {
+      std::printf("          threads=%-3zu %14.0f queries/sec\n", pt.threads,
+                  pt.queries_per_sec);
+    }
     if (csv) {
       csv->row(r.users, r.queries, r.queries_per_sec,
                r.queries_per_sec_batched, r.queries_per_sec_parallel,
@@ -393,8 +424,9 @@ int main() {
     }
     std::fprintf(f, "{\n  \"bench\": \"queries\",\n"
                     "  \"nodes\": %zu,\n  \"queries\": %zu,\n"
+                    "  \"host_cores\": %zu,\n"
                     "  \"points\": [\n",
-                 kNodes, kQueries);
+                 kNodes, kQueries, host_cores);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
       std::fprintf(
@@ -406,13 +438,19 @@ int main() {
           "\"locate_p50_us\": %.2f, \"locate_p99_us\": %.2f, "
           "\"range_p50_us\": %.2f, \"range_p99_us\": %.2f, "
           "\"knn_p50_us\": %.2f, \"knn_p99_us\": %.2f, "
-          "\"batched_p50_us\": %.2f, \"batched_p99_us\": %.2f}%s\n",
+          "\"batched_p50_us\": %.2f, \"batched_p99_us\": %.2f,\n"
+          "     \"thread_curve\": [",
           r.users, r.queries, r.queries_per_sec, r.queries_per_sec_batched,
           r.queries_per_sec_parallel, r.threads, r.speedup_batched,
           static_cast<unsigned long long>(r.records_returned),
           r.locate_p50_us, r.locate_p99_us, r.range_p50_us, r.range_p99_us,
-          r.knn_p50_us, r.knn_p99_us, r.batched_p50_us, r.batched_p99_us,
-          i + 1 < results.size() ? "," : "");
+          r.knn_p50_us, r.knn_p99_us, r.batched_p50_us, r.batched_p99_us);
+      for (std::size_t c = 0; c < r.curve.size(); ++c) {
+        std::fprintf(f, "%s{\"threads\": %zu, \"queries_per_sec\": %.0f}",
+                     c == 0 ? "" : ", ", r.curve[c].threads,
+                     r.curve[c].queries_per_sec);
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

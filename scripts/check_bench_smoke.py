@@ -18,8 +18,19 @@ refreshed lazily; pass --require KEY (repeatable) for series that must
 exist on both sides — a bench silently dropping its headline series
 should fail the gate, not sail through it.
 
+--scaling additionally gates multi-core scaling from the fresh report's
+thread_curve: the T-thread entry (default T=8) divided by the 1-thread
+entry must reach max(0.5, 0.375 * min(T, host_cores)).  On a machine
+with 8+ cores that demands a 3x speedup at 8 threads; on a smaller CI
+runner the requirement shrinks to what the host could physically
+deliver, and the 0.5 floor still catches a parallel path that collapses
+under oversubscription (a convoying lock, a serializing barrier).  The
+bench must emit "host_cores" and per-point "thread_curve" for the gate
+to run — their absence is a failure, not a skip.
+
 Usage: check_bench_smoke.py <fresh.json> <baseline.json> [--users N]
-       [--max-drop FRAC] [--require KEY]...
+       [--max-drop FRAC] [--require KEY]... [--scaling]
+       [--scaling-threads T]
 """
 
 import argparse
@@ -36,6 +47,52 @@ def point_for(report, users):
         f"{[p['users'] for p in report['points']]})")
 
 
+def curve_entry(curve, threads):
+    for entry in curve:
+        if entry.get("threads") == threads:
+            return entry
+    raise SystemExit(
+        f"no {threads}-thread entry in thread_curve (have "
+        f"{[e.get('threads') for e in curve]})")
+
+
+def curve_throughput(entry):
+    values = [v for k, v in entry.items() if "per_sec" in k]
+    if len(values) != 1:
+        raise SystemExit(
+            f"expected exactly one *per_sec series per curve entry, got "
+            f"{sorted(k for k in entry if 'per_sec' in k)}")
+    return values[0]
+
+
+def check_scaling(report, point, threads):
+    """Gate the thread curve against what the host could deliver.
+
+    Required speedup is 0.375 * min(threads, host_cores): 3.0x at 8
+    threads on an 8+-core host, proportionally less on smaller runners.
+    The 0.5 floor applies even on a 1-core host — oversubscribed workers
+    may not help there, but a parallel path that runs at less than half
+    the serial speed is convoying on a lock or barrier, which is exactly
+    what this gate exists to catch.
+    """
+    if "host_cores" not in report:
+        raise SystemExit("--scaling needs \"host_cores\" in the fresh report")
+    if "thread_curve" not in point:
+        raise SystemExit("--scaling needs \"thread_curve\" in the fresh point")
+    host_cores = report["host_cores"]
+    curve = point["thread_curve"]
+    base = curve_throughput(curve_entry(curve, 1))
+    high = curve_throughput(curve_entry(curve, threads))
+    if base <= 0:
+        raise SystemExit("1-thread curve entry has non-positive throughput")
+    speedup = high / base
+    required = max(0.5, 0.375 * min(threads, host_cores))
+    verdict = "OK" if speedup >= required else "REGRESSION"
+    print(f"{'scaling':>26}: {speedup:>11.2f}x at {threads} threads "
+          f"(required {required:.2f}x, host cores {host_cores}) {verdict}")
+    return speedup >= required
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh")
@@ -45,10 +102,15 @@ def main():
     parser.add_argument("--require", action="append", default=[],
                         metavar="KEY",
                         help="series that must be present in both reports")
+    parser.add_argument("--scaling", action="store_true",
+                        help="gate thread_curve scaling vs host_cores")
+    parser.add_argument("--scaling-threads", type=int, default=8,
+                        help="thread count judged against the 1-thread entry")
     args = parser.parse_args()
 
     with open(args.fresh) as f:
-        fresh = point_for(json.load(f), args.users)
+        fresh_report = json.load(f)
+    fresh = point_for(fresh_report, args.users)
     with open(args.baseline) as f:
         base = point_for(json.load(f), args.users)
 
@@ -56,7 +118,8 @@ def main():
     # on only one side (an older baseline, a just-added series) are
     # skipped rather than failed so baselines can be refreshed lazily.
     checks = sorted(k for k in fresh
-                    if "per_sec" in k and k in base)
+                    if "per_sec" in k and k in base
+                    and not isinstance(fresh[k], list))
     if not checks:
         raise SystemExit("no shared *per_sec keys between fresh and baseline")
     missing = [k for k in args.require if k not in fresh or k not in base]
@@ -72,6 +135,9 @@ def main():
         print(f"{key:>26}: {got:>12,.0f} vs baseline {want:>12,.0f} "
               f"(floor {floor:,.0f}) {verdict}")
         failed |= got < floor
+
+    if args.scaling:
+        failed |= not check_scaling(fresh_report, fresh, args.scaling_threads)
 
     if failed:
         print(f"FAIL: throughput at {args.users} users dropped more than "

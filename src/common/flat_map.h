@@ -54,6 +54,9 @@ class FlatMap {
 
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
+  /// Current slot-table size.  A reserve() or insert that changes this has
+  /// rehashed: every previously obtained entry pointer is invalidated.
+  std::size_t capacity() const noexcept { return slots_.size(); }
 
   void clear() {
     states_.assign(states_.size(), kEmpty);
@@ -153,7 +156,6 @@ class FlatMap {
   static constexpr std::size_t kMaxLoadDen = 8;
   static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
 
-  std::size_t capacity() const noexcept { return slots_.size(); }
   std::size_t mask() const noexcept { return slots_.size() - 1; }
   std::size_t home(const Key& key) const noexcept {
     return Hash{}(key)&mask();

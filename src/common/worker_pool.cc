@@ -4,6 +4,30 @@
 
 namespace geogrid::common {
 
+namespace {
+
+/// Completion-spin budget before the dispatcher parks on the condvar.  On a
+/// many-core host the workers' tasks end within microseconds of task 0, so
+/// a short spin removes the futex round trip from the steady-state batch
+/// loop entirely.  On a single-core host spinning only delays the very
+/// threads being waited on, so the budget is zero and the dispatcher yields
+/// the core immediately.
+std::uint32_t spin_budget() noexcept {
+  static const std::uint32_t budget =
+      std::thread::hardware_concurrency() > 1 ? 16384 : 0;
+  return budget;
+}
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
 WorkerPool::WorkerPool(std::size_t tasks)
     : tasks_(tasks == 0
                  ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
@@ -23,42 +47,92 @@ WorkerPool::~WorkerPool() {
   for (auto& t : workers_) t.join();
 }
 
-void WorkerPool::worker_loop(std::size_t worker_index) {
-  std::uint64_t seen = 0;
-  while (true) {
-    const std::function<void(std::size_t)>* job = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      job = job_;
-    }
-    // Worker w always takes task w+1; the dispatching thread takes task 0.
-    (*job)(worker_index + 1);
-    {
-      std::lock_guard lock(mutex_);
-      ++done_;
-    }
-    done_cv_.notify_one();
+void WorkerPool::record_exception() noexcept {
+  // First thrower wins; the acq_rel exchange orders the exception_ptr
+  // write before the barrier decrement that publishes it.
+  bool expected = false;
+  if (failed_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    first_error_ = std::current_exception();
   }
 }
 
-void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
-  if (workers_.empty()) {
-    for (std::size_t i = 0; i < tasks_; ++i) fn(i);
-    return;
+void WorkerPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_.load(std::memory_order_relaxed) != seen;
+      });
+      if (stop_) return;
+      seen = generation_.load(std::memory_order_relaxed);
+    }
+    // Worker w always takes task w+1; the dispatching thread takes task 0.
+    // A throwing task must still reach the barrier — the dispatcher cannot
+    // unwind until every task of the generation retired.
+    try {
+      job_.invoke(job_.ctx, worker_index + 1);
+    } catch (...) {
+      record_exception();
+    }
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task out: wake the dispatcher iff it actually went to sleep
+      // (the common fast path sees the countdown hit zero mid-spin and
+      // never touches done_mutex_).
+      std::unique_lock lock(done_mutex_);
+      if (dispatcher_sleeping_) {
+        lock.unlock();
+        done_cv_.notify_one();
+      }
+    }
   }
+}
+
+void WorkerPool::dispatch() {
+  failed_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  remaining_.store(workers_.size(), std::memory_order_relaxed);
   {
+    // The lock pairs with the workers' wait predicate so the generation
+    // bump cannot slip between a worker's predicate check and its sleep.
     std::lock_guard lock(mutex_);
-    job_ = &fn;
-    done_ = 0;
-    ++generation_;
+    generation_.fetch_add(1, std::memory_order_release);
   }
   work_cv_.notify_all();
-  fn(0);
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [&] { return done_ == workers_.size(); });
+
+  try {
+    job_.invoke(job_.ctx, 0);
+  } catch (...) {
+    // Capture, don't unwind: workers are still executing through job_,
+    // which points into this stack frame.  The barrier below drains the
+    // generation first; the exception resurfaces after.
+    record_exception();
+  }
+
+  // Atomic countdown barrier: spin briefly (multicore hosts — the workers
+  // finish around the same time task 0 does), then park.
+  if (remaining_.load(std::memory_order_acquire) != 0) {
+    for (std::uint32_t i = spin_budget(); i != 0; --i) {
+      cpu_relax();
+      if (remaining_.load(std::memory_order_acquire) == 0) break;
+    }
+    if (remaining_.load(std::memory_order_acquire) != 0) {
+      std::unique_lock lock(done_mutex_);
+      dispatcher_sleeping_ = true;
+      done_cv_.wait(lock, [&] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+      dispatcher_sleeping_ = false;
+    }
+  }
+
+  job_ = Job{};
+  if (failed_.load(std::memory_order_acquire)) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
 }
 
 }  // namespace geogrid::common

@@ -10,19 +10,46 @@
 // run() degenerates to a plain call — the serial configurations stay
 // genuinely single-threaded.
 //
+// The batch barrier is an atomic countdown, not a mutex+condvar round trip:
+// the dispatcher publishes the job once (a raw callable pointer plus a
+// static trampoline — run() is a template, so there is no std::function
+// re-dispatch or allocation per batch), bumps the generation, and after
+// running task 0 spins briefly on the countdown before falling back to a
+// futex-style sleep.  Workers park on a condvar between generations (they
+// must not burn a core while the dispatcher is preparing the next batch)
+// but completion costs one relaxed-spin-visible fetch_sub — on an
+// oversubscribed or many-core host the barrier is contention on exactly one
+// cacheline, once per task per batch.
+//
+// Task affinity is fixed: worker w always executes task w + 1 and the
+// dispatcher always executes task 0, so engines that keep per-task scratch
+// (shard queues, query scratch, counter tallies) get thread-affine reuse
+// for free — task i's scratch is touched by one thread for the pool's whole
+// lifetime.
+//
+// Exceptions: if any task throws — including task 0 on the dispatching
+// thread — the pool still drains the full generation (every worker finishes
+// its task and reaches the barrier) and then rethrows the first captured
+// exception from run().  The barrier must complete before the stack
+// unwinds: workers hold a pointer into the dispatcher's frame, so returning
+// early would leave them executing through a dangling job.  After a throw
+// the pool remains usable; subsequent run() calls behave normally.
+//
 // The pool is NOT re-entrant and has exactly one dispatcher at a time: the
 // thread that constructed it calls run().  Determinism is the caller's
 // business — the pool guarantees only that every task ran to completion
 // before run() returns, so engines that partition work by pure functions of
-// the task index (as both users here do) get thread-count-independent
+// the task index (as all users here do) get thread-count-independent
 // results for free.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <exception>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace geogrid::common {
@@ -39,22 +66,68 @@ class WorkerPool {
   /// Number of tasks each run() call fans out to.
   std::size_t task_count() const noexcept { return tasks_; }
 
-  /// Runs fn(0..tasks-1): fn(0) on the caller, the rest on the pool.
-  /// Returns after every task completed (the batch barrier).
-  void run(const std::function<void(std::size_t)>& fn);
+  /// Number of spawned worker threads: task_count() - 1, and 0 for a
+  /// serial pool (the no-thread-spawn guarantee the tests pin).
+  std::size_t worker_thread_count() const noexcept { return workers_.size(); }
+
+  /// Runs fn(0..tasks-1): fn(0) on the caller, task w+1 on worker w.
+  /// Returns after every task completed (the batch barrier).  If any task
+  /// threw, the generation is drained first and the first captured
+  /// exception is rethrown here.
+  template <typename Fn>
+  void run(Fn&& fn) {
+    if (workers_.empty()) {
+      for (std::size_t i = 0; i < tasks_; ++i) fn(i);
+      return;
+    }
+    using Callable = std::remove_reference_t<Fn>;
+    job_.invoke = [](void* ctx, std::size_t task) {
+      (*static_cast<Callable*>(ctx))(task);
+    };
+    job_.ctx = const_cast<void*>(static_cast<const void*>(std::addressof(fn)));
+    dispatch();
+  }
 
  private:
+  /// The published batch: a raw callable pointer and its static trampoline.
+  /// Written by the dispatcher before the generation bump (the
+  /// release/acquire edge workers synchronize on), read-only during a
+  /// generation.
+  struct Job {
+    void (*invoke)(void*, std::size_t) = nullptr;
+    void* ctx = nullptr;
+  };
+
+  void dispatch();
   void worker_loop(std::size_t worker_index);
+  void record_exception() noexcept;
 
   std::size_t tasks_;
   std::vector<std::thread> workers_;
+
+  // Generation handoff: workers park on work_cv_ between batches and are
+  // released by the generation bump.  generation_ is atomic so the
+  // dispatcher's completion spin and the workers' wake predicate never
+  // race; the mutex only orders sleep/notify.
   std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  std::size_t done_ = 0;
+  Job job_{};
+  std::atomic<std::uint64_t> generation_{0};
   bool stop_ = false;
+
+  // Completion barrier on its own cacheline: every worker hits this word
+  // once per batch, and it must not false-share with the job the workers
+  // are concurrently reading.
+  alignas(64) std::atomic<std::size_t> remaining_{0};
+
+  // Dispatcher sleep state, used only when the completion spin expires.
+  alignas(64) std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  bool dispatcher_sleeping_ = false;
+
+  // First exception thrown by any task of the current generation.
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;
 };
 
 }  // namespace geogrid::common

@@ -6,15 +6,29 @@
 
 namespace geogrid::metrics {
 
+std::size_t LatencyHistogram::bucket_of(double micros) noexcept {
+  if (micros < std::ldexp(1.0, kMinExp)) return 0;  // underflow
+  int e = std::ilogb(micros);  // floor(log2) for finite positives
+  if (e > kMaxExp) e = kMaxExp;
+  // Mantissa position inside the octave, in [0, 1).  Clamp guards the
+  // e == kMaxExp overflow case where the ratio exceeds 2.
+  const double frac = std::min(std::ldexp(micros, -e) - 1.0, 1.0 - 1e-12);
+  const auto sub = std::min<std::size_t>(
+      kSub - 1, static_cast<std::size_t>(frac * static_cast<double>(kSub)));
+  return 1 + static_cast<std::size_t>(e - kMinExp) * kSub + sub;
+}
+
+double LatencyHistogram::bucket_upper_edge(std::size_t bucket) noexcept {
+  if (bucket == 0) return std::ldexp(1.0, kMinExp);
+  const std::size_t z = bucket - 1;
+  const int e = kMinExp + static_cast<int>(z / kSub);
+  const double sub = static_cast<double>(z % kSub);
+  return std::ldexp(1.0 + (sub + 1.0) / static_cast<double>(kSub), e);
+}
+
 void LatencyHistogram::record_micros(double micros) noexcept {
   if (!(micros >= 0.0)) micros = 0.0;  // NaN / negative clock skew -> 0
-  std::size_t bucket = 0;
-  if (micros >= 1.0) {
-    const int e = std::ilogb(micros);  // floor(log2) for finite positives
-    bucket = std::min<std::size_t>(kBuckets - 1,
-                                   static_cast<std::size_t>(e) + 1);
-  }
-  ++buckets_[bucket];
+  ++buckets_[bucket_of(micros)];
   ++total_;
   sum_micros_ += micros;
   max_micros_ = std::max(max_micros_, micros);
@@ -37,10 +51,7 @@ double LatencyHistogram::percentile_micros(double p) const noexcept {
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += buckets_[b];
-    if (seen >= rank) {
-      // Upper edge of bucket b: 2^b micros (bucket 0 = everything < 1us).
-      return std::ldexp(1.0, static_cast<int>(b));
-    }
+    if (seen >= rank) return bucket_upper_edge(b);
   }
   return max_micros_;
 }
@@ -48,7 +59,7 @@ double LatencyHistogram::percentile_micros(double p) const noexcept {
 std::string LatencyHistogram::summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus mean=%.2fus",
+                "p50=%.3fus p95=%.3fus p99=%.3fus max=%.3fus mean=%.3fus",
                 percentile_micros(50), percentile_micros(95),
                 percentile_micros(99), max_micros_, mean_micros());
   return std::string(buf);

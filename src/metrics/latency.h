@@ -1,12 +1,19 @@
 // Log-scale latency histogram for the query-path benchmarks.
 //
-// Query latencies span four orders of magnitude (a memoized locate is tens
+// Query latencies span seven orders of magnitude (a memoized locate is tens
 // of nanoseconds; a plane-sized range query is milliseconds), so the
 // uniform-bin Histogram the partition figures use would put everything in
-// one bin.  LatencyHistogram buckets by the base-2 logarithm of the
-// microsecond value — constant work to record, ~2x worst-case relative
-// error on a percentile estimate, and cheap to merge across worker
-// threads, which is how the batched engine's per-task tallies combine.
+// one bin.  LatencyHistogram buckets by octave (base-2 logarithm of the
+// microsecond value) subdivided linearly: each octave [2^e, 2^(e+1)) splits
+// into kSub equal sub-buckets, so a percentile estimate's upper edge is at
+// most (1 + 1/kSub)x the true sample — 12.5% relative error at kSub = 8 —
+// instead of the 2x a pure log2 histogram gives.  Octaves start at
+// 2^kMinExp microseconds (~1ns, the practical floor of the monotonic
+// clock), so sub-microsecond operations — the memoized locate path, the
+// SIMD band filter per chunk — resolve into real buckets rather than
+// saturating a single "< 1us" bin.  Recording is constant work and the
+// array merges with one pass, which is how the batched engine's per-task
+// tallies combine.
 #pragma once
 
 #include <array>
@@ -18,9 +25,20 @@ namespace geogrid::metrics {
 
 class LatencyHistogram {
  public:
-  /// Bucket b holds samples in [2^(b-1), 2^b) microseconds; bucket 0 holds
-  /// everything below 1us.  64 buckets cover any double that can occur.
-  static constexpr std::size_t kBuckets = 64;
+  /// Linear sub-buckets per octave.  8 keeps the table compact (4KB) while
+  /// bounding percentile overshoot at 12.5%.
+  static constexpr std::size_t kSub = 8;
+  /// Exponent of the smallest resolved octave: 2^-10 us ~ 0.98ns.  Samples
+  /// below it land in the underflow bucket (index 0).
+  static constexpr int kMinExp = -10;
+  /// Exponent of the largest resolved octave: 2^53 us ~ 285 years, beyond
+  /// any latency a benchmark can record.  Larger samples clamp into it.
+  static constexpr int kMaxExp = 53;
+  static constexpr std::size_t kOctaves =
+      static_cast<std::size_t>(kMaxExp - kMinExp + 1);
+  /// Bucket 0 is underflow; bucket 1 + (e - kMinExp)*kSub + s holds samples
+  /// in [2^e * (1 + s/kSub), 2^e * (1 + (s+1)/kSub)).
+  static constexpr std::size_t kBuckets = 1 + kOctaves * kSub;
 
   void record_micros(double micros) noexcept;
   void record_seconds(double seconds) noexcept {
@@ -37,14 +55,18 @@ class LatencyHistogram {
     return total_ == 0 ? 0.0 : sum_micros_ / static_cast<double>(total_);
   }
 
-  /// Upper edge (micros) of the bucket holding the p-th percentile sample,
-  /// p in [0, 100].  Conservative: the true sample is at most 2x smaller.
+  /// Upper edge (micros) of the sub-bucket holding the p-th percentile
+  /// sample, p in [0, 100].  Conservative: the true sample is at most
+  /// (1 + 1/kSub)x smaller, i.e. within 12.5% at kSub = 8.
   double percentile_micros(double p) const noexcept;
 
   /// One-line "p50=… p95=… p99=… max=…" summary for reports.
   std::string summary() const;
 
  private:
+  static std::size_t bucket_of(double micros) noexcept;
+  static double bucket_upper_edge(std::size_t bucket) noexcept;
+
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t total_ = 0;
   double sum_micros_ = 0.0;

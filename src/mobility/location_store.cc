@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace geogrid::mobility {
 
 std::int32_t LocationStore::cell_coord(double v) const noexcept {
@@ -50,7 +52,8 @@ bool LocationStore::ingest(const LocationRecord& record) {
     const std::uint32_t slot = *slot_ptr;
     if (seqs_[slot] >= record.seq) return false;  // stale or replay
     const std::uint64_t new_key = cell_key_of(record.position);
-    positions_[slot] = record.position;
+    xs_[slot] = record.position.x;
+    ys_[slot] = record.position.y;
     seqs_[slot] = record.seq;
     timestamps_[slot] = record.timestamp;
     if (cell_keys_[slot] != new_key) {
@@ -64,7 +67,8 @@ bool LocationStore::ingest(const LocationRecord& record) {
   *slot_ptr = slot;
   const std::uint64_t key = cell_key_of(record.position);
   users_.push_back(record.user);
-  positions_.push_back(record.position);
+  xs_.push_back(record.position.x);
+  ys_.push_back(record.position.y);
   seqs_.push_back(record.seq);
   timestamps_.push_back(record.timestamp);
   cell_keys_.push_back(key);
@@ -92,7 +96,8 @@ void LocationStore::remove_slot(std::uint32_t slot) {
     // Dense columns stay dense: the last record moves into the hole, and
     // both its index entry and its cell-bucket slot are repointed.
     users_[slot] = users_[last];
-    positions_[slot] = positions_[last];
+    xs_[slot] = xs_[last];
+    ys_[slot] = ys_[last];
     seqs_[slot] = seqs_[last];
     timestamps_[slot] = timestamps_[last];
     cell_keys_[slot] = cell_keys_[last];
@@ -100,7 +105,8 @@ void LocationStore::remove_slot(std::uint32_t slot) {
     cell_replace(cell_keys_[slot], last, slot);
   }
   users_.pop_back();
-  positions_.pop_back();
+  xs_.pop_back();
+  ys_.pop_back();
   seqs_.pop_back();
   timestamps_.pop_back();
   cell_keys_.pop_back();
@@ -122,7 +128,8 @@ bool LocationStore::erase_if_stale(UserId user, std::uint64_t max_seq) {
 
 void LocationStore::clear() {
   users_.clear();
-  positions_.clear();
+  xs_.clear();
+  ys_.clear();
   seqs_.clear();
   timestamps_.clear();
   cell_keys_.clear();
@@ -138,17 +145,52 @@ std::vector<LocationRecord> LocationStore::range(const Rect& rect) const {
 
 void LocationStore::range_into(const Rect& rect,
                                std::vector<LocationRecord>& out) const {
+  if (users_.empty()) return;
+  // The accept test is `covers(p) || covers_inclusive(p)`.  covers() is a
+  // strict subset of covers_inclusive() (strict west/south vs eps-relaxed
+  // everywhere), so the disjunction collapses to the single closed band
+  // below — which is exactly the branch-free test the SIMD filter computes.
+  const double x_lo = rect.x - kGeoEps;
+  const double x_hi = rect.right() + kGeoEps;
+  const double y_lo = rect.y - kGeoEps;
+  const double y_hi = rect.top() + kGeoEps;
   const std::int32_t cx0 = cell_coord(rect.x);
   const std::int32_t cx1 = cell_coord(rect.right());
   const std::int32_t cy0 = cell_coord(rect.y);
   const std::int32_t cy1 = cell_coord(rect.top());
+  // Wide rects (the geofence/region-sweep shape) would visit at least as
+  // many grid cells as exist — there the bucket walk is pure pointer-chasing
+  // overhead, and a linear SIMD sweep of the coordinate columns wins on
+  // both instruction count and cache behaviour.  Path choice is a pure
+  // function of (store contents, rect): results and their serialization are
+  // identical either way because both paths apply the same band test and
+  // encode() re-sorts canonically.
+  const std::uint64_t span_cells =
+      (static_cast<std::uint64_t>(cx1 - cx0) + 1) *
+      (static_cast<std::uint64_t>(cy1 - cy0) + 1);
+  if (span_cells >= cells_.size()) {
+    constexpr std::size_t kChunk = 1024;
+    std::uint32_t hits[kChunk];
+    const std::size_t n = users_.size();
+    for (std::size_t base = 0; base < n; base += kChunk) {
+      const std::size_t len = std::min(kChunk, n - base);
+      const std::size_t found = common::filter_points_in_band(
+          xs_.data() + base, ys_.data() + base, len, x_lo, x_hi, y_lo, y_hi,
+          hits);
+      for (std::size_t j = 0; j < found; ++j) {
+        out.push_back(record_at(static_cast<std::uint32_t>(base) + hits[j]));
+      }
+    }
+    return;
+  }
   for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
     for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
       const auto* bucket = cells_.find(pack(cx, cy));
       if (bucket == nullptr) continue;
       for (const std::uint32_t slot : *bucket) {
-        const Point& pos = positions_[slot];
-        if (rect.covers(pos) || rect.covers_inclusive(pos)) {
+        const double px = xs_[slot];
+        const double py = ys_[slot];
+        if (x_lo <= px && px <= x_hi && y_lo <= py && py <= y_hi) {
           out.push_back(record_at(slot));
         }
       }
@@ -199,7 +241,7 @@ std::vector<LocationRecord> LocationStore::k_nearest(const Point& p,
         const auto* bucket = cells_.find(pack(cx, cy));
         if (bucket == nullptr) continue;
         for (const std::uint32_t slot : *bucket) {
-          const Scored cand{distance(positions_[slot], p), slot};
+          const Scored cand{distance(position_at(slot), p), slot};
           if (best.size() >= k && !scored_after(cand, best.back())) continue;
           const auto pos = std::lower_bound(best.begin(), best.end(), cand,
                                             scored_after);

@@ -7,12 +7,16 @@
 // queries must not scan the whole population.
 //
 // Records live in a structure-of-arrays layout: dense parallel columns for
-// user id, position, sequence and timestamp, indexed by a flat
-// open-addressing map (common::FlatMap) from user to record slot.  Ingest
-// touches exactly the columns it writes, range scans sweep the position
-// column without dragging timestamps through the cache, and nothing pointer-
-// chases through node allocations — this is what keeps updates/sec flat as
-// the population grows into the millions.  The spatial side is a sparse
+// user id, x coordinate, y coordinate, sequence and timestamp, indexed by a
+// flat open-addressing map (common::FlatMap) from user to record slot.
+// Ingest touches exactly the columns it writes, range scans sweep the
+// coordinate columns without dragging timestamps through the cache, and
+// nothing pointer-chases through node allocations — this is what keeps
+// updates/sec flat as the population grows into the millions.  The x/y
+// split (rather than a packed Point column) is what lets the wide-rect
+// range path SIMD-scan the whole store: four vector compares and a
+// movemask per lane group over linearly streaming doubles
+// (common/simd.h), instead of a per-point branch over interleaved pairs.  The spatial side is a sparse
 // uniform grid of square cells (flat map from packed cell coordinates to a
 // bucket of record slots); cells materialize only where users are, so one
 // store works unchanged whether its region is the whole plane or a
@@ -139,8 +143,11 @@ class LocationStore {
   void cell_remove(std::uint64_t key, std::uint32_t slot);
   void cell_replace(std::uint64_t key, std::uint32_t old_slot,
                     std::uint32_t new_slot);
+  Point position_at(std::uint32_t slot) const noexcept {
+    return Point{xs_[slot], ys_[slot]};
+  }
   LocationRecord record_at(std::uint32_t slot) const {
-    return LocationRecord{users_[slot], positions_[slot], seqs_[slot],
+    return LocationRecord{users_[slot], position_at(slot), seqs_[slot],
                           timestamps_[slot]};
   }
   void remove_slot(std::uint32_t slot);
@@ -149,9 +156,11 @@ class LocationStore {
   // Structure-of-arrays record columns; `index_` maps user -> slot.
   // `cell_keys_` caches each slot's packed cell so the in-place update
   // path (the overwhelmingly common ingest) never recomputes the old
-  // cell's floor divisions.
+  // cell's floor divisions.  Coordinates are split into separate x/y
+  // columns for the SIMD band filter (see header comment).
   std::vector<UserId> users_;
-  std::vector<Point> positions_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
   std::vector<std::uint64_t> seqs_;
   std::vector<double> timestamps_;
   std::vector<std::uint64_t> cell_keys_;

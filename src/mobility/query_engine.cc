@@ -28,10 +28,25 @@ QueryEngine::QueryEngine(ShardedDirectory& directory)
 QueryEngine::QueryEngine(ShardedDirectory& directory, Options options)
     : directory_(directory),
       resolver_(directory.resolver()),
-      pool_(options.threads) {}
+      pool_(options.threads),
+      task_states_(pool_.task_count()),
+      reader_(directory.register_reader()) {}
 
 std::vector<QueryResult> QueryEngine::run(std::span<const Query> batch) {
   const auto snapshot = directory_.publish_snapshot();
+  return run_on(*snapshot, batch);
+}
+
+std::vector<QueryResult> QueryEngine::run_pinned(std::span<const Query> batch) {
+  common::EpochDomain::Guard pin(reader_);
+  const DirectorySnapshot* snapshot = directory_.pinned_snapshot();
+  if (snapshot == nullptr) {
+    // Nothing published yet: every locate misses, every scan is empty.
+    // One empty slice keeps store()'s shard modulus well-defined.
+    static const DirectorySnapshot kEmpty(
+        0, {}, {std::make_shared<const DirectorySnapshot::StoreMap>()});
+    return run_on(kEmpty, batch);
+  }
   return run_on(*snapshot, batch);
 }
 
@@ -41,18 +56,21 @@ std::vector<QueryResult> QueryEngine::run_on(const DirectorySnapshot& snapshot,
   const std::size_t tasks = pool_.task_count();
   // Contiguous static chunks: which task computes a request never changes
   // the request's answer (exec reads only frozen state), so the result
-  // vector — and its serialization — is thread-count invariant.
-  std::vector<Counters> task_counters(tasks);
+  // vector — and its serialization — is thread-count invariant.  Task t's
+  // state slab is thread-affine and cacheline-aligned: scratch stays warm,
+  // tallies never false-share.
   pool_.run([&](std::size_t t) {
-    Scratch scratch;
+    TaskState& state = task_states_[t];
+    state.tally = Counters{};
     const std::size_t lo = batch.size() * t / tasks;
     const std::size_t hi = batch.size() * (t + 1) / tasks;
     for (std::size_t i = lo; i < hi; ++i) {
-      exec(snapshot, batch[i], results[i], scratch, task_counters[t]);
+      exec(snapshot, batch[i], results[i], state.scratch, state.tally);
     }
   });
   // Deterministic aggregation: sum per-task tallies in task order.
-  for (const Counters& tc : task_counters) {
+  for (const TaskState& ts : task_states_) {
+    const Counters& tc = ts.tally;
     counters_.queries += tc.queries;
     counters_.locates += tc.locates;
     counters_.locate_hits += tc.locate_hits;

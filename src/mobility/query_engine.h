@@ -39,6 +39,7 @@
 #include <span>
 #include <vector>
 
+#include "common/epoch_reclaim.h"
 #include "common/geometry.h"
 #include "common/ids.h"
 #include "common/worker_pool.h"
@@ -137,6 +138,14 @@ class QueryEngine {
   std::vector<QueryResult> run_on(const DirectorySnapshot& snapshot,
                                   std::span<const Query> batch);
 
+  /// Concurrent-reader hot path: pins this engine's reclamation-domain
+  /// reader, executes the batch against the latest published snapshot, and
+  /// unpins.  No mutex, no shared_ptr refcount — snapshot lifetime is
+  /// guaranteed by epoch-based reclamation, so any number of engines on
+  /// separate threads acquire snapshots without writing one shared byte.
+  /// Before the first publish the batch answers as an empty directory.
+  std::vector<QueryResult> run_pinned(std::span<const Query> batch);
+
   std::size_t thread_count() const noexcept { return pool_.task_count(); }
   const Counters& counters() const noexcept { return counters_; }
 
@@ -153,6 +162,16 @@ class QueryEngine {
     std::vector<double> knn_dists;  ///< distances parallel to the kNN best
   };
 
+  /// Persistent per-task slab, one cacheline-aligned slot per pool task.
+  /// Task t always runs on the same pool thread (fixed affinity), so its
+  /// scratch vectors stay warm in that thread's cache across batches, and
+  /// the per-task counter tallies written during a batch never false-share
+  /// with a neighbouring task's.
+  struct alignas(64) TaskState {
+    Scratch scratch;
+    Counters tally;
+  };
+
   void exec(const DirectorySnapshot& snapshot, const Query& q,
             QueryResult& out, Scratch& scratch, Counters& c) const;
 
@@ -160,6 +179,8 @@ class QueryEngine {
   const overlay::RegionResolver& resolver_;
   Counters counters_;
   common::WorkerPool pool_;
+  std::vector<TaskState> task_states_;
+  common::EpochDomain::Reader reader_;  ///< run_pinned's domain slot
 };
 
 }  // namespace geogrid::mobility

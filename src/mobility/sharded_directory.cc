@@ -18,7 +18,8 @@ ShardedDirectory::ShardedDirectory(const overlay::Partition& partition,
                                                    : options.delta_retention),
       resolver_(partition),
       pool_(options.shards),
-      shards_(pool_.task_count()) {}
+      shards_(pool_.task_count()),
+      phase_a_tally_(pool_.task_count()) {}
 
 void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
   if (batch.empty()) return;
@@ -48,9 +49,12 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
       new_users += states_[i] == nullptr ? 1 : 0;
     }
   } else {
-    std::vector<std::uint64_t> chunk_fast(chunks, 0);
-    std::vector<std::uint64_t> chunk_new(chunks, 0);
+    // Task c always lands on the same pool thread (fixed affinity), and
+    // its tally slot is alone on a cacheline — the parallel locate phase
+    // writes nothing shared and allocates nothing.
     pool_.run([&](std::size_t c) {
+      PhaseATally& tally = phase_a_tally_[c];
+      tally = PhaseATally{};
       const std::size_t lo = batch.size() * c / chunks;
       const std::size_t hi = batch.size() * (c + 1) / chunks;
       bool fast = false;
@@ -60,15 +64,30 @@ void ShardedDirectory::apply_updates(std::span<const LocationRecord> batch) {
         const RegionId hint =
             states_[i] == nullptr ? kInvalidRegion : states_[i]->region;
         targets_[i] = resolver_.resolve(batch[i].position, hint, &fast);
-        chunk_fast[c] += fast ? 1 : 0;
-        chunk_new[c] += states_[i] == nullptr ? 1 : 0;
+        tally.fast_hits += fast ? 1 : 0;
+        tally.new_users += states_[i] == nullptr ? 1 : 0;
       }
     });
-    for (const std::uint64_t f : chunk_fast) fast_hits += f;
-    for (const std::uint64_t n : chunk_new) new_users += n;
+    for (const PhaseATally& t : phase_a_tally_) {
+      fast_hits += t.fast_hits;
+      new_users += t.new_users;
+    }
   }
   counters_.locate_fast_path += fast_hits;
-  if (new_users > 0) user_state_.reserve(user_state_.size() + new_users);
+  if (new_users > 0) {
+    // Pre-size the memo so the phase-B try_emplace loop never rehashes
+    // mid-iteration.  The reserve itself may rehash right here, though,
+    // and that moves every entry — the memo pointers phase A cached for
+    // *existing* users are then dangling and must be re-found before
+    // phase B dereferences them.  Only growth batches pay the re-probe.
+    const std::size_t cap_before = user_state_.capacity();
+    user_state_.reserve(user_state_.size() + new_users);
+    if (user_state_.capacity() != cap_before) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (states_[i] != nullptr) states_[i] = user_state_.find(batch[i].user);
+      }
+    }
+  }
 
   // Phase B: serial dispatch — seq guard, handoff evictions, shard queues.
   for (auto& shard : shards_) shard.queue.clear();
@@ -360,9 +379,31 @@ std::shared_ptr<const DirectorySnapshot> ShardedDirectory::publish_snapshot() {
   auto snap = std::make_shared<const DirectorySnapshot>(
       ingest_epoch(), user_state_, slice_cache_, base_epoch,
       changed_since(base_epoch));
+  std::shared_ptr<const DirectorySnapshot> superseded;
   {
     std::lock_guard lock(snapshot_mutex_);
+    superseded = std::move(published_);
     published_ = snap;
+  }
+  // Epoch-based reclamation handshake: publish the new raw pointer FIRST,
+  // then stamp the superseded snapshot and scan reader slots.  A pinned
+  // reader either shows up in the scan (its snapshot is kept) or pinned
+  // after the publish and can only be holding the new snapshot.
+  live_snapshot_.store(snap.get(), std::memory_order_release);
+  if (superseded != nullptr) {
+    retired_.push_back(RetiredSnapshot{std::move(superseded),
+                                       reclaim_domain_.retire_epoch()});
+    ++counters_.snapshots_retired;
+  }
+  const std::uint64_t safe = reclaim_domain_.safe_epoch();
+  for (std::size_t i = 0; i < retired_.size();) {
+    if (retired_[i].retired_at < safe) {
+      counters_.snapshots_reclaimed += 1;
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+    } else {
+      ++i;
+    }
   }
   return snap;
 }

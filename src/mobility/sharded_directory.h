@@ -59,6 +59,9 @@
 #include <span>
 #include <vector>
 
+#include <atomic>
+
+#include "common/epoch_reclaim.h"
 #include "common/flat_map.h"
 #include "common/geometry.h"
 #include "common/ids.h"
@@ -100,6 +103,8 @@ class ShardedDirectory {
     std::uint64_t migration_passes = 0;    ///< migrate_regions calls
     std::uint64_t migrated_records = 0;    ///< records re-homed by migration
     std::uint64_t migration_dropped = 0;   ///< transfers vetoed by the filter
+    std::uint64_t snapshots_retired = 0;   ///< superseded snapshots queued
+    std::uint64_t snapshots_reclaimed = 0;  ///< retired snapshots freed
   };
 
   /// What one apply_update did (single-record convenience mirror of
@@ -180,8 +185,27 @@ class ShardedDirectory {
 
   /// The latest published snapshot (null before the first publish).  Safe
   /// to call from any thread, concurrently with ingestion; the returned
-  /// snapshot never changes.
+  /// snapshot never changes.  This is the refcounted slow path: each call
+  /// locks the publication mutex and bumps the control block — use the
+  /// epoch-reclamation pair below on the per-batch read hot path.
   std::shared_ptr<const DirectorySnapshot> current_snapshot() const;
+
+  /// Claims a slot in the snapshot reclamation domain for a long-lived
+  /// reader thread (see common/epoch_reclaim.h).  The reader must not
+  /// outlive this directory.
+  common::EpochDomain::Reader register_reader() const {
+    return reclaim_domain_.register_reader();
+  }
+
+  /// Refcount-free snapshot acquisition: the caller must be pinned
+  /// (EpochDomain::Guard over a registered reader), and the pointer is
+  /// valid exactly until the pin is released.  Null before the first
+  /// publish.  Unlike current_snapshot(), concurrent readers touch no
+  /// shared mutable word — acquisition is two stores to the reader's own
+  /// cacheline plus one load.
+  const DirectorySnapshot* pinned_snapshot() const noexcept {
+    return live_snapshot_.load(std::memory_order_acquire);
+  }
 
   /// Ingest epoch: number of non-empty batches applied so far.
   std::uint64_t ingest_epoch() const noexcept { return counters_.batches; }
@@ -242,10 +266,22 @@ class ShardedDirectory {
     bool evict = false;
   };
 
-  struct Shard {
+  /// Cacheline-aligned: shard s is written only by task s during the
+  /// parallel phases, and adjacent shards' queue/store headers must not
+  /// share a line or phase C serializes on coherence traffic instead of
+  /// running independently.
+  struct alignas(64) Shard {
     std::vector<ShardOp> queue;
     common::FlatMap<RegionId, LocationStore> stores;
     bool dirty = false;  ///< drained an op since the last publish
+  };
+
+  /// Per-task phase-A tallies, one cacheline each (written concurrently by
+  /// neighbouring tasks every batch).  Persistent across batches so the
+  /// parallel locate phase allocates nothing in steady state.
+  struct alignas(64) PhaseATally {
+    std::uint64_t fast_hits = 0;
+    std::uint64_t new_users = 0;
   };
 
   std::size_t shard_of(RegionId region) const noexcept {
@@ -277,13 +313,24 @@ class ShardedDirectory {
 
   common::WorkerPool pool_;
   std::vector<Shard> shards_;
+  std::vector<PhaseATally> phase_a_tally_;  ///< one aligned slot per task
 
   // Snapshot publication state.  slice_cache_ holds the last published
   // copy of each shard's store map; published_ is swapped under
   // snapshot_mutex_ so current_snapshot() is safe from reader threads.
+  // live_snapshot_ mirrors published_.get() for the refcount-free pinned
+  // read path; superseded snapshots park in retired_ until the
+  // reclamation domain proves no pinned reader can still reach them.
   std::vector<std::shared_ptr<const DirectorySnapshot::StoreMap>> slice_cache_;
   std::shared_ptr<const DirectorySnapshot> published_;
   mutable std::mutex snapshot_mutex_;
+  std::atomic<const DirectorySnapshot*> live_snapshot_{nullptr};
+  mutable common::EpochDomain reclaim_domain_;
+  struct RetiredSnapshot {
+    std::shared_ptr<const DirectorySnapshot> snapshot;
+    std::uint64_t retired_at = 0;
+  };
+  std::vector<RetiredSnapshot> retired_;  ///< writer-side, publish-ordered
 };
 
 }  // namespace geogrid::mobility

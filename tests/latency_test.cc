@@ -1,5 +1,8 @@
-// LatencyHistogram: log-scale bucketing, percentile bounds, merging.
+// LatencyHistogram: linear-within-octave bucketing, percentile bounds,
+// sub-microsecond resolution, merging.
 #include "metrics/latency.h"
+
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -20,22 +23,39 @@ TEST(LatencyHistogram, PercentileUpperBoundsTrueSample) {
   for (int i = 0; i < 99; ++i) h.record_micros(2.0);
   h.record_micros(3000.0);
   EXPECT_EQ(h.count(), 100u);
-  // Nearest-rank p50/p95 land in the [2,4) bucket; p100 in [2048,4096).
-  EXPECT_DOUBLE_EQ(h.percentile_micros(50), 4.0);
-  EXPECT_DOUBLE_EQ(h.percentile_micros(95), 4.0);
-  EXPECT_DOUBLE_EQ(h.percentile_micros(100), 4096.0);
+  // 2.0us opens the [2, 4) octave: first sub-bucket, upper edge 2.25us.
+  EXPECT_DOUBLE_EQ(h.percentile_micros(50), 2.25);
+  EXPECT_DOUBLE_EQ(h.percentile_micros(95), 2.25);
+  // 3000us sits in [2048, 4096): sub-bucket [2944, 3072), upper edge 3072.
+  EXPECT_DOUBLE_EQ(h.percentile_micros(100), 3072.0);
   EXPECT_DOUBLE_EQ(h.max_micros(), 3000.0);
-  // The bucket edge is conservative: at most 2x above the true sample.
+  // The sub-bucket edge overshoots the true sample by at most 1/kSub.
   EXPECT_GE(h.percentile_micros(50), 2.0);
-  EXPECT_LE(h.percentile_micros(50), 2.0 * 2.0);
+  EXPECT_LE(h.percentile_micros(50), 2.0 * (1.0 + 1.0 / LatencyHistogram::kSub));
 }
 
-TEST(LatencyHistogram, SubMicrosecondSamplesLandInBucketZero) {
+TEST(LatencyHistogram, SubMicrosecondSamplesResolve) {
   LatencyHistogram h;
   h.record_micros(0.25);
-  h.record_seconds(1e-9);  // 0.001us
+  h.record_seconds(1e-9);  // 0.001us = 1ns
   EXPECT_EQ(h.count(), 2u);
-  EXPECT_DOUBLE_EQ(h.percentile_micros(100), 1.0);  // bucket 0 upper edge
+  // The 1ns sample resolves into the bottom octave [2^-10, 2^-9) instead
+  // of saturating: its reported edge is ~1.1ns, not 1us.
+  EXPECT_DOUBLE_EQ(h.percentile_micros(50), std::ldexp(1.125, -10));
+  // 0.25us opens the [0.25, 0.5) octave: upper edge 0.28125us.
+  EXPECT_DOUBLE_EQ(h.percentile_micros(100), 0.28125);
+  // Both estimates stay within the 12.5% overshoot bound.
+  EXPECT_LE(h.percentile_micros(100), 0.25 * 1.125);
+  EXPECT_LE(h.percentile_micros(50), 0.001 * 1.125);
+}
+
+TEST(LatencyHistogram, UnderflowBucketCatchesSubNanosecond) {
+  LatencyHistogram h;
+  h.record_micros(1e-4);  // 0.1ns, below the smallest resolved octave
+  h.record_micros(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  // Underflow upper edge is the bottom octave's lower edge, 2^-10 us.
+  EXPECT_DOUBLE_EQ(h.percentile_micros(100), std::ldexp(1.0, -10));
 }
 
 TEST(LatencyHistogram, MergeAddsCounts) {
@@ -44,8 +64,10 @@ TEST(LatencyHistogram, MergeAddsCounts) {
   for (int i = 0; i < 10; ++i) b.record_micros(100.0);
   a.merge(b);
   EXPECT_EQ(a.count(), 20u);
-  EXPECT_DOUBLE_EQ(a.percentile_micros(25), 4.0);
-  EXPECT_DOUBLE_EQ(a.percentile_micros(99), 128.0);
+  // 3.0us: octave [2, 4), sub-bucket [3.0, 3.25), upper edge 3.25.
+  EXPECT_DOUBLE_EQ(a.percentile_micros(25), 3.25);
+  // 100us: octave [64, 128), sub-bucket [100, 104), upper edge 104.
+  EXPECT_DOUBLE_EQ(a.percentile_micros(99), 104.0);
   EXPECT_DOUBLE_EQ(a.max_micros(), 100.0);
   EXPECT_NEAR(a.mean_micros(), (10 * 3.0 + 10 * 100.0) / 20.0, 1e-9);
 }

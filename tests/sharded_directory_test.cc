@@ -88,6 +88,45 @@ TEST(ShardedDirectory, ShardCountInvariance) {
   EXPECT_EQ(snapshot(serial), snapshot(sharded));
 }
 
+TEST(ShardedDirectory, MixedBatchSurvivesMemoRehash) {
+  // Regression: phase A caches pointers into the per-user memo; the
+  // pre-phase-B reserve for a batch's new users can rehash the memo and
+  // leave every cached pointer for an *existing* user dangling.  A batch
+  // mixing returning users with enough first-time users to force growth
+  // must still apply cleanly (ASan turns the stale pointers into a hard
+  // failure; in plain builds the seq guard reads garbage).
+  QuadrantFixture fx;
+  ShardedDirectory dir(fx.partition, {.shards = 4});
+
+  std::vector<LocationRecord> first;
+  for (std::uint32_t u = 1; u <= 100; ++u) {
+    first.push_back(rec(u, 1.0 + (u % 60), 1.0 + (u % 60), 1));
+  }
+  dir.apply_updates(first);
+  ASSERT_EQ(dir.counters().updates_applied, 100u);
+
+  // Returning users first (their memo pointers get cached), then enough
+  // new users that reserve() must grow the table under those pointers.
+  std::vector<LocationRecord> mixed;
+  for (std::uint32_t u = 1; u <= 100; ++u) {
+    mixed.push_back(rec(u, 2.0 + (u % 60), 2.0 + (u % 60), 2));
+  }
+  for (std::uint32_t u = 101; u <= 4100; ++u) {
+    mixed.push_back(rec(u, 1.0 + (u % 62), 1.0 + (u % 62), 1));
+  }
+  dir.apply_updates(mixed);
+
+  EXPECT_EQ(dir.counters().updates_applied, 100u + mixed.size());
+  EXPECT_EQ(dir.counters().updates_stale, 0u);
+  for (std::uint32_t u : {1u, 50u, 100u}) {
+    const auto found = dir.locate(UserId{u});
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->seq, 2u);
+    EXPECT_EQ(found->position.x, 2.0 + (u % 60));
+  }
+  EXPECT_TRUE(dir.locate(UserId{4100}).has_value());
+}
+
 TEST(ShardedDirectory, MatchesSerialLocationDirectory) {
   // Batched sharded ingestion must agree with the record-at-a-time serial
   // directory on every observable: per-user locate, region assignment,
