@@ -7,8 +7,10 @@
 #include "loadbalance/planner.h"
 #include "loadbalance/workload_index.h"
 #include "metrics/collector.h"
+#include "mobility/sharded_directory.h"
 #include "net/messages.h"
 #include "overlay/router.h"
+#include "pubsub/notification_engine.h"
 
 using namespace geogrid;
 
@@ -133,6 +135,48 @@ void BM_EncodeDecodeSnapshotMessage(benchmark::State& state) {
                                 net::encode_message(m).size()));
 }
 BENCHMARK(BM_EncodeDecodeSnapshotMessage);
+
+void BM_NotifySerialize(benchmark::State& state) {
+  // Cost of turning one drained notification into a wire message:
+  // to_notify into caller-provided scratch (steady-state: no allocation)
+  // plus the codec encode of the resulting Notify.
+  overlay::Partition partition{Rect{0, 0, 64, 64}};
+  const NodeId n = partition.add_node({NodeId{1}, Point{32, 32}, 10.0});
+  partition.create_root(n);
+  mobility::ShardedDirectory directory(partition);
+  pubsub::SubscriptionIndex subs(Rect{0, 0, 64, 64});
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    net::Subscribe s;
+    s.sub_id = id;
+    s.subscriber.id = NodeId{1};
+    s.area = Rect{static_cast<double>(id % 8) * 8.0,
+                  static_cast<double>(id / 8) * 6.0, 8, 8};
+    s.filter = "geofence-alerts/topic";
+    subs.subscribe(s, pubsub::SubKind::kRange);
+  }
+  pubsub::NotificationEngine engine(directory, subs,
+                                    {.threads = 1});
+  std::vector<mobility::LocationRecord> batch;
+  for (std::uint32_t u = 1; u <= 256; ++u) {
+    batch.push_back(mobility::LocationRecord{
+        UserId{u}, Point{(u % 64) + 0.5, (u / 8) % 48 + 0.5}, 1, 0.0});
+  }
+  directory.apply_updates(batch);
+  const std::vector<pubsub::Notification> drained = engine.drain();
+  net::Notify scratch;  // reused: steady-state serialization allocates nothing
+  std::size_t i = 0;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    engine.to_notify(drained[i], scratch);
+    const net::Message m = scratch;
+    const auto encoded = net::encode_message(m);
+    bytes += static_cast<std::int64_t>(encoded.size());
+    benchmark::DoNotOptimize(encoded.data());
+    i = (i + 1) % drained.size();
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_NotifySerialize);
 
 void BM_WorkloadSummary(benchmark::State& state) {
   auto sim = make_sim(core::GridMode::kDualPeer, 2000);

@@ -28,9 +28,21 @@ under oversubscription (a convoying lock, a serializing barrier).  The
 bench must emit "host_cores" and per-point "thread_curve" for the gate
 to run — their absence is a failure, not a skip.
 
+--ratio FLOOR gates how gracefully a series scales with population: the
+headline series at the large population (default 1M users) divided by
+the same series at the small population (--users) must reach FLOOR.  A
+flat-per-user hot path keeps per-second throughput roughly constant as
+the population grows; pointer-chasing per candidate shows up as decay.
+The ratio is always computed within a single report — the fresh one
+when it carries both points (full local runs), else the committed
+baseline (CI smoke runs only re-measure the small point) — never
+across reports, so run-to-run noise cannot split the numerator and
+denominator.
+
 Usage: check_bench_smoke.py <fresh.json> <baseline.json> [--users N]
        [--max-drop FRAC] [--require KEY]... [--scaling]
-       [--scaling-threads T]
+       [--scaling-threads T] [--ratio FLOOR] [--ratio-users N]
+       [--ratio-key KEY]
 """
 
 import argparse
@@ -93,6 +105,33 @@ def check_scaling(report, point, threads):
     return speedup >= required
 
 
+def check_ratio(fresh_report, base_report, small_users, large_users, key,
+                floor):
+    """Gate large-over-small population scaling of one throughput series."""
+    for name, report in (("fresh", fresh_report), ("baseline", base_report)):
+        pops = [p["users"] for p in report["points"]]
+        if small_users not in pops or large_users not in pops:
+            continue
+        small = point_for(report, small_users)
+        large = point_for(report, large_users)
+        if key not in small or key not in large:
+            raise SystemExit(
+                f"--ratio needs \"{key}\" at both populations in the "
+                f"{name} report")
+        if small[key] <= 0:
+            raise SystemExit(
+                f"{key} at {small_users:,} users is non-positive")
+        ratio = large[key] / small[key]
+        verdict = "OK" if ratio >= floor else "REGRESSION"
+        print(f"{'population ratio':>26}: {ratio:>11.2f} = "
+              f"{key}@{large_users:,} / @{small_users:,} users "
+              f"from {name} report (floor {floor:.2f}) {verdict}")
+        return ratio >= floor
+    raise SystemExit(
+        f"--ratio needs both the {small_users:,}- and {large_users:,}-user "
+        f"points in the fresh or baseline report")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh")
@@ -106,13 +145,21 @@ def main():
                         help="gate thread_curve scaling vs host_cores")
     parser.add_argument("--scaling-threads", type=int, default=8,
                         help="thread count judged against the 1-thread entry")
+    parser.add_argument("--ratio", type=float, default=None, metavar="FLOOR",
+                        help="minimum large-over-small population throughput "
+                             "ratio")
+    parser.add_argument("--ratio-users", type=int, default=1_000_000,
+                        help="large population for the --ratio gate")
+    parser.add_argument("--ratio-key", default="notifications_per_sec",
+                        help="series gated by --ratio")
     args = parser.parse_args()
 
     with open(args.fresh) as f:
         fresh_report = json.load(f)
     fresh = point_for(fresh_report, args.users)
     with open(args.baseline) as f:
-        base = point_for(json.load(f), args.users)
+        base_report = json.load(f)
+    base = point_for(base_report, args.users)
 
     # Gate every throughput series both reports know about.  Keys present
     # on only one side (an older baseline, a just-added series) are
@@ -138,6 +185,11 @@ def main():
 
     if args.scaling:
         failed |= not check_scaling(fresh_report, fresh, args.scaling_threads)
+
+    if args.ratio is not None:
+        failed |= not check_ratio(fresh_report, base_report, args.users,
+                                  args.ratio_users, args.ratio_key,
+                                  args.ratio)
 
     if failed:
         print(f"FAIL: throughput at {args.users} users dropped more than "

@@ -85,6 +85,65 @@ inline std::size_t filter_points_in_band(const double* xs, const double* ys,
   return found;
 }
 
+/// Appends to `out` the index of every i in [0, n) whose rect
+/// [lo_x[i], hi_x[i]] x [lo_y[i], hi_y[i]] covers the point (px, py) under
+/// the region algebra's half-open test (Rect::covers): strictly greater
+/// than the west/south edge, less-or-equal the east/north edge.  This is
+/// the transpose of filter_points_in_band — one point probed against
+/// columns of rects instead of one rect against columns of points — and is
+/// the subscription-match primitive: a SubscriptionIndex cell's rect
+/// columns stream through four compares, two ANDs and a movemask per lane
+/// group.  Indices emit in ascending order on every path, so the match
+/// pipeline's canonical (ascending sub-id) ordering is free.  `out` must
+/// have room for n.  A degenerate rect (zero width or height) covers
+/// nothing: lo < p and p <= hi cannot both hold when lo == hi.
+inline std::size_t filter_rects_covering_point(
+    const double* lo_x, const double* lo_y, const double* hi_x,
+    const double* hi_y, std::size_t n, double px, double py,
+    std::uint32_t* out) {
+  std::size_t found = 0;
+  std::size_t i = 0;
+#if defined(__AVX__)
+  const __m256d vpx = _mm256_set1_pd(px);
+  const __m256d vpy = _mm256_set1_pd(py);
+  for (; i + 4 <= n; i += 4) {
+    const __m256d inx =
+        _mm256_and_pd(_mm256_cmp_pd(_mm256_loadu_pd(lo_x + i), vpx, _CMP_LT_OQ),
+                      _mm256_cmp_pd(vpx, _mm256_loadu_pd(hi_x + i), _CMP_LE_OQ));
+    const __m256d iny =
+        _mm256_and_pd(_mm256_cmp_pd(_mm256_loadu_pd(lo_y + i), vpy, _CMP_LT_OQ),
+                      _mm256_cmp_pd(vpy, _mm256_loadu_pd(hi_y + i), _CMP_LE_OQ));
+    int mask = _mm256_movemask_pd(_mm256_and_pd(inx, iny));
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      out[found++] = static_cast<std::uint32_t>(i + lane);
+      mask &= mask - 1;
+    }
+  }
+#elif defined(__SSE2__)
+  const __m128d vpx = _mm_set1_pd(px);
+  const __m128d vpy = _mm_set1_pd(py);
+  for (; i + 2 <= n; i += 2) {
+    const __m128d inx = _mm_and_pd(_mm_cmplt_pd(_mm_loadu_pd(lo_x + i), vpx),
+                                   _mm_cmple_pd(vpx, _mm_loadu_pd(hi_x + i)));
+    const __m128d iny = _mm_and_pd(_mm_cmplt_pd(_mm_loadu_pd(lo_y + i), vpy),
+                                   _mm_cmple_pd(vpy, _mm_loadu_pd(hi_y + i)));
+    int mask = _mm_movemask_pd(_mm_and_pd(inx, iny));
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      out[found++] = static_cast<std::uint32_t>(i + lane);
+      mask &= mask - 1;
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (lo_x[i] < px && px <= hi_x[i] && lo_y[i] < py && py <= hi_y[i]) {
+      out[found++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return found;
+}
+
 /// Counts the points inside the band without materializing indices — the
 /// membership-cardinality probe (geofence occupancy, cell density stats).
 inline std::size_t count_points_in_band(const double* xs, const double* ys,

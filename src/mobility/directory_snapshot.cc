@@ -12,6 +12,41 @@ void DirectorySnapshot::collect_users(std::vector<UserId>& out) const {
   std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
 }
 
+void DirectorySnapshot::locate_many(
+    std::span<const UserId> users, LocateScratch& scratch,
+    std::vector<std::optional<LocationRecord>>& out) const {
+  out.clear();
+  out.resize(users.size());
+  auto& order = scratch.order;
+  order.clear();
+  order.reserve(users.size());
+  // Pass 1: resolve the user -> region map (unavoidably random) and stamp
+  // each hit with a (shard, region) sort key.
+  for (std::uint32_t i = 0; i < users.size(); ++i) {
+    const UserSlot* slot = users_.find(users[i]);
+    if (slot == nullptr) continue;  // out[i] stays nullopt
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(
+             shard_of_region(slot->region, slices_.size()))
+         << 32) |
+        slot->region.value;
+    order.emplace_back(key, i);
+  }
+  // Pass 2: probe stores in shard-then-region order — one store resolve
+  // per region run, and consecutive locates walk the same store's maps.
+  std::sort(order.begin(), order.end());
+  RegionId current = kInvalidRegion;
+  const LocationStore* st = nullptr;
+  for (const auto& [key, i] : order) {
+    const RegionId region{static_cast<std::uint32_t>(key)};
+    if (region != current) {
+      st = store(region);
+      current = region;
+    }
+    if (st != nullptr) out[i] = st->locate(users[i]);
+  }
+}
+
 void DirectorySnapshot::serialize(net::Writer& w) const {
   std::vector<std::pair<RegionId, const LocationStore*>> stores;
   for (const auto& slice : slices_) {

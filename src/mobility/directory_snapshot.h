@@ -102,6 +102,22 @@ class DirectorySnapshot {
     return st == nullptr ? std::nullopt : st->locate(user);
   }
 
+  /// Reusable working state for locate_many (the sort scratch), so a
+  /// caller draining every epoch never reallocates it.
+  struct LocateScratch {
+    /// (shard|region sort key, input index) pairs.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  };
+
+  /// Batched point lookup: sets out[i] = locate(users[i]) for every i,
+  /// with the store probes grouped by (shard, region) so consecutive
+  /// lookups hit the same slice and store maps instead of ping-ponging
+  /// across shards — the access pattern a per-user locate loop produces.
+  /// `out` is resized to users.size(); results land at input positions,
+  /// so the output is independent of the internal grouping.
+  void locate_many(std::span<const UserId> users, LocateScratch& scratch,
+                   std::vector<std::optional<LocationRecord>>& out) const;
+
   /// Epoch of the previously published snapshot this one's delta is
   /// relative to; the delta covers exactly (delta_base_epoch, epoch].
   std::uint64_t delta_base_epoch() const noexcept { return delta_base_; }

@@ -35,7 +35,10 @@ NotificationEngine::NotificationEngine(mobility::ShardedDirectory& directory,
     : directory_(directory),
       subs_(subs),
       options_(options),
-      pool_(options.threads) {}
+      pool_(options.threads),
+      tasks_(pool_.task_count()) {
+  if (options_.timing_sample_every == 0) options_.timing_sample_every = 1;
+}
 
 std::vector<Notification> NotificationEngine::drain() {
   subs_.refresh();
@@ -75,42 +78,36 @@ std::vector<Notification> NotificationEngine::drain() {
   if (!delta.empty()) {
     // Static contiguous chunks, per-task scratch/output/tallies, partials
     // concatenated in task order: the QueryEngine determinism recipe.
+    // Task state lives on the engine and is reused drain over drain; the
+    // pool's fixed affinity keeps each entry thread-affine.
     const std::size_t tasks = pool_.task_count();
     if (tasks == 1) {
-      Scratch scratch;
-      metrics::LatencyHistogram hist;
-      for (const UserId user : delta) {
-        const double t0 = now_micros();
-        match_user(user, *snap, prev, out, scratch, counters_);
-        hist.record_micros(now_micros() - t0);
-      }
-      match_hist_.merge(hist);
+      run_chunk(delta, 0, delta.size(), *snap, prev, out, tasks_[0],
+                counters_);
+      match_hist_.merge(tasks_[0].hist);
+      tasks_[0].hist = {};
     } else {
-      std::vector<std::vector<Notification>> parts(tasks);
-      std::vector<Counters> tallies(tasks);
-      std::vector<metrics::LatencyHistogram> hists(tasks);
       pool_.run([&](std::size_t t) {
+        TaskState& state = tasks_[t];
+        state.out.clear();
         const std::size_t lo = delta.size() * t / tasks;
         const std::size_t hi = delta.size() * (t + 1) / tasks;
-        Scratch scratch;
-        for (std::size_t i = lo; i < hi; ++i) {
-          const double t0 = now_micros();
-          match_user(delta[i], *snap, prev, parts[t], scratch, tallies[t]);
-          hists[t].record_micros(now_micros() - t0);
-        }
+        run_chunk(delta, lo, hi, *snap, prev, state.out, state, state.tally);
       });
       std::size_t total = 0;
-      for (const auto& p : parts) total += p.size();
+      for (const TaskState& state : tasks_) total += state.out.size();
       out.reserve(total);
-      for (std::size_t t = 0; t < tasks; ++t) {
-        out.insert(out.end(), parts[t].begin(), parts[t].end());
-        counters_.stationary_skips += tallies[t].stationary_skips;
-        counters_.notifications += tallies[t].notifications;
-        counters_.enters += tallies[t].enters;
-        counters_.leaves += tallies[t].leaves;
-        counters_.moves += tallies[t].moves;
-        counters_.friend_events += tallies[t].friend_events;
-        match_hist_.merge(hists[t]);
+      for (TaskState& state : tasks_) {
+        out.insert(out.end(), state.out.begin(), state.out.end());
+        counters_.stationary_skips += state.tally.stationary_skips;
+        counters_.notifications += state.tally.notifications;
+        counters_.enters += state.tally.enters;
+        counters_.leaves += state.tally.leaves;
+        counters_.moves += state.tally.moves;
+        counters_.friend_events += state.tally.friend_events;
+        state.tally = {};
+        match_hist_.merge(state.hist);
+        state.hist = {};
       }
     }
   }
@@ -122,16 +119,47 @@ std::vector<Notification> NotificationEngine::drain() {
   return out;
 }
 
+void NotificationEngine::run_chunk(std::span<const UserId> delta,
+                                   std::size_t lo, std::size_t hi,
+                                   const mobility::DirectorySnapshot& cur,
+                                   const mobility::DirectorySnapshot* prev,
+                                   std::vector<Notification>& out,
+                                   TaskState& state, Counters& c) {
+  const std::span<const UserId> chunk = delta.subspan(lo, hi - lo);
+  // Bulk-resolve the whole chunk's records up front: locate_many groups
+  // the store probes by shard/region, so the random per-user map walks of
+  // a locate-inside-the-loop pattern become two locality-sorted sweeps.
+  cur.locate_many(chunk, state.locate_scratch, state.cur_recs);
+  if (prev != nullptr) {
+    prev->locate_many(chunk, state.locate_scratch, state.prev_recs);
+  }
+  const std::size_t sample = options_.timing_sample_every;
+  for (std::size_t k = 0; k < chunk.size(); ++k) {
+    const mobility::LocationRecord* cur_rec =
+        state.cur_recs[k].has_value() ? &*state.cur_recs[k] : nullptr;
+    const mobility::LocationRecord* prev_rec =
+        prev != nullptr && state.prev_recs[k].has_value()
+            ? &*state.prev_recs[k]
+            : nullptr;
+    // Sampled timing on the global delta index: every Nth candidate pays
+    // the two clock reads, the rest run clock-free.
+    if ((lo + k) % sample == 0) {
+      const double t0 = now_micros();
+      match_user(chunk[k], cur_rec, prev_rec, out, state, c);
+      state.hist.record_micros(now_micros() - t0);
+    } else {
+      match_user(chunk[k], cur_rec, prev_rec, out, state, c);
+    }
+  }
+}
+
 void NotificationEngine::match_user(UserId user,
-                                    const mobility::DirectorySnapshot& cur,
-                                    const mobility::DirectorySnapshot* prev,
+                                    const mobility::LocationRecord* cur_rec,
+                                    const mobility::LocationRecord* prev_rec,
                                     std::vector<Notification>& out,
-                                    Scratch& scratch, Counters& c) const {
-  const std::optional<mobility::LocationRecord> cur_rec = cur.locate(user);
-  if (!cur_rec.has_value()) return;  // never resident at this epoch
-  const std::optional<mobility::LocationRecord> prev_rec =
-      prev == nullptr ? std::nullopt : prev->locate(user);
-  const bool has_prev = prev_rec.has_value();
+                                    TaskState& state, Counters& c) const {
+  if (cur_rec == nullptr) return;  // never resident at this epoch
+  const bool has_prev = prev_rec != nullptr;
   if (has_prev && prev_rec->position == cur_rec->position) {
     // Re-applied at the same position (paused user re-reporting): no
     // boundary crossed, no motion to report.
@@ -141,23 +169,24 @@ void NotificationEngine::match_user(UserId user,
   const Point cur_pos = cur_rec->position;
 
   if (has_prev) {
-    subs_.covering(prev_rec->position, scratch.prev_slots);
+    subs_.covering(prev_rec->position, state.prev_matches);
   } else {
-    scratch.prev_slots.clear();
+    state.prev_matches.clear();
   }
-  subs_.covering(cur_pos, scratch.cur_slots);
+  subs_.covering(cur_pos, state.cur_matches);
 
-  // Merge the two ascending-id slot lists: prev-only = leave, cur-only =
-  // enter, both = move (range subscriptions only).
+  // Merge the two ascending-id CoverMatch lists: prev-only = leave,
+  // cur-only = enter, both = move (range subscriptions only).  The
+  // triples carry id and kind, so no per-notification slot deref.
+  const std::vector<CoverMatch>& prev_m = state.prev_matches;
+  const std::vector<CoverMatch>& cur_m = state.cur_matches;
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < scratch.prev_slots.size() || j < scratch.cur_slots.size()) {
-    const std::uint64_t pid = i < scratch.prev_slots.size()
-                                  ? subs_.at(scratch.prev_slots[i]).id
-                                  : ~std::uint64_t{0};
-    const std::uint64_t cid = j < scratch.cur_slots.size()
-                                  ? subs_.at(scratch.cur_slots[j]).id
-                                  : ~std::uint64_t{0};
+  while (i < prev_m.size() || j < cur_m.size()) {
+    const std::uint64_t pid =
+        i < prev_m.size() ? prev_m[i].id : ~std::uint64_t{0};
+    const std::uint64_t cid =
+        j < cur_m.size() ? cur_m[j].id : ~std::uint64_t{0};
     if (pid < cid) {
       out.push_back(Notification{pid, user, NotifyEvent::kLeave, cur_pos});
       ++c.leaves;
@@ -169,7 +198,7 @@ void NotificationEngine::match_user(UserId user,
       ++c.notifications;
       ++j;
     } else {
-      if (subs_.at(scratch.cur_slots[j]).kind == SubKind::kRange) {
+      if (cur_m[j].kind == SubKind::kRange) {
         out.push_back(Notification{cid, user, NotifyEvent::kMove, cur_pos});
         ++c.moves;
         ++c.notifications;
@@ -197,17 +226,21 @@ void NotificationEngine::match_user(UserId user,
   }
 }
 
-net::Notify NotificationEngine::to_notify(const Notification& n) const {
-  net::Notify msg;
-  msg.sub_id = n.sub_id;
-  if (const Subscription* sub = subs_.find(n.sub_id)) {
-    msg.topic = sub->filter;
+void NotificationEngine::to_notify(const Notification& n,
+                                   net::Notify& out) const {
+  out.sub_id = n.sub_id;
+  if (const std::string* filter = subs_.filter_of(n.sub_id)) {
+    out.topic.assign(*filter);
+  } else {
+    out.topic.clear();
   }
   char buf[96];
-  std::snprintf(buf, sizeof buf, "%s u%u @(%.6f, %.6f)", event_name(n.event),
-                n.user.value, n.position.x, n.position.y);
-  msg.payload = buf;
-  return msg;
+  int len = std::snprintf(buf, sizeof buf, "%s u%u @(%.6f, %.6f)",
+                          event_name(n.event), n.user.value, n.position.x,
+                          n.position.y);
+  if (len < 0) len = 0;
+  if (static_cast<std::size_t>(len) >= sizeof buf) len = sizeof buf - 1;
+  out.payload.assign(buf, static_cast<std::size_t>(len));
 }
 
 void NotificationEngine::serialize(net::Writer& w,

@@ -3,7 +3,85 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/simd.h"
+
 namespace geogrid::pubsub {
+namespace detail {
+
+void CellSoA::reserve(std::uint32_t cap) {
+  if (cap > cap_) grow(cap, size_);
+}
+
+void CellSoA::grow(std::uint32_t min_cap, std::uint32_t gap_pos) {
+  std::uint32_t new_cap = cap_ == 0 ? 2 : cap_ * 2;
+  if (new_cap < min_cap) new_cap = min_cap;
+  // 4 double columns + 1 u64 column (same stride) + 1 u32 column.
+  const std::size_t col = static_cast<std::size_t>(new_cap) * sizeof(double);
+  std::byte* fresh = new std::byte[5 * col + new_cap * sizeof(std::uint32_t)];
+  if (data_ != nullptr) {
+    // Copy each column, leaving a one-entry hole at gap_pos (== size_ when
+    // reserving: the hole degenerates to nothing).
+    const std::size_t old_col = bytes_per_col();
+    const auto copy_col = [&](std::size_t c, std::size_t elem) {
+      const std::byte* src = data_ + c * old_col;
+      std::byte* dst = fresh + c * col;
+      std::memcpy(dst, src, gap_pos * elem);
+      std::memcpy(dst + (gap_pos + 1) * elem, src + gap_pos * elem,
+                  (size_ - gap_pos) * elem);
+    };
+    for (std::size_t c = 0; c < 5; ++c) copy_col(c, sizeof(double));
+    {
+      const std::byte* src = data_ + 5 * old_col;
+      std::byte* dst = fresh + 5 * col;
+      std::memcpy(dst, src, gap_pos * sizeof(std::uint32_t));
+      std::memcpy(dst + (gap_pos + 1) * sizeof(std::uint32_t),
+                  src + gap_pos * sizeof(std::uint32_t),
+                  (size_ - gap_pos) * sizeof(std::uint32_t));
+    }
+    delete[] data_;
+  }
+  data_ = fresh;
+  cap_ = new_cap;
+}
+
+void CellSoA::insert(std::uint32_t pos, const Rect& area, std::uint64_t id,
+                     std::uint32_t slot_kind) {
+  if (size_ == cap_) {
+    grow(size_ + 1, pos);
+  } else if (pos < size_) {
+    const auto shift = [&](std::byte* base, std::size_t elem) {
+      std::memmove(base + (pos + 1) * elem, base + pos * elem,
+                   (size_ - pos) * elem);
+    };
+    for (std::size_t c = 0; c < 5; ++c) {
+      shift(data_ + c * bytes_per_col(), sizeof(double));
+    }
+    shift(data_ + 5 * bytes_per_col(), sizeof(std::uint32_t));
+  }
+  col_d_mut(0)[pos] = area.x;
+  col_d_mut(1)[pos] = area.y;
+  col_d_mut(2)[pos] = area.right();
+  col_d_mut(3)[pos] = area.top();
+  reinterpret_cast<std::uint64_t*>(data_ + 4 * bytes_per_col())[pos] = id;
+  reinterpret_cast<std::uint32_t*>(data_ + 5 * bytes_per_col())[pos] =
+      slot_kind;
+  ++size_;
+}
+
+void CellSoA::erase(std::uint32_t pos) {
+  const std::uint32_t tail = size_ - pos - 1;
+  const auto shift = [&](std::byte* base, std::size_t elem) {
+    std::memmove(base + pos * elem, base + (pos + 1) * elem, tail * elem);
+  };
+  for (std::size_t c = 0; c < 5; ++c) {
+    shift(data_ + c * bytes_per_col(), sizeof(double));
+  }
+  shift(data_ + 5 * bytes_per_col(), sizeof(std::uint32_t));
+  --size_;
+}
+
+}  // namespace detail
+
 namespace {
 
 using Entry = std::pair<std::uint64_t, std::uint32_t>;
@@ -18,37 +96,33 @@ std::vector<Entry>::iterator lower_bound_id(std::vector<Entry>& v,
 }  // namespace
 
 void SubscriptionIndex::subscribe(const net::Subscribe& msg, SubKind kind) {
-  Subscription sub;
-  sub.id = msg.sub_id;
-  sub.kind = kind == SubKind::kFriend ? SubKind::kGeofence : kind;
-  sub.area = msg.area;
-  sub.subscriber = msg.subscriber.id;
-  sub.filter = msg.filter;
-  insert(std::move(sub));
+  SubRecord rec;
+  rec.id = msg.sub_id;
+  rec.kind = kind == SubKind::kFriend ? SubKind::kGeofence : kind;
+  rec.area = msg.area;
+  insert(rec, SubCold{msg.subscriber.id, msg.filter});
 }
 
 void SubscriptionIndex::subscribe_friend(const net::Subscribe& msg,
                                          UserId friend_user) {
-  Subscription sub;
-  sub.id = msg.sub_id;
-  sub.kind = SubKind::kFriend;
-  sub.friend_user = friend_user;
-  sub.subscriber = msg.subscriber.id;
-  sub.filter = msg.filter;
-  insert(std::move(sub));
+  SubRecord rec;
+  rec.id = msg.sub_id;
+  rec.kind = SubKind::kFriend;
+  rec.friend_user = friend_user;
+  insert(rec, SubCold{msg.subscriber.id, msg.filter});
 }
 
-void SubscriptionIndex::insert(Subscription sub) {
-  if (index_.find(sub.id) != nullptr) unsubscribe(sub.id);
-  const auto slot = static_cast<std::uint32_t>(subs_.size());
-  *index_.try_emplace(sub.id).first = slot;
-  subs_.push_back(std::move(sub));
-  const Subscription& s = subs_.back();
-  if (s.kind == SubKind::kFriend) {
-    friends_insert(s, slot);
+void SubscriptionIndex::insert(SubRecord rec, SubCold cold) {
+  if (index_.find(rec.id) != nullptr) unsubscribe(rec.id);
+  const auto slot = static_cast<std::uint32_t>(hot_.size());
+  *index_.try_emplace(rec.id).first = slot;
+  hot_.push_back(rec);
+  cold_.push_back(std::move(cold));
+  if (rec.kind == SubKind::kFriend) {
+    friends_insert(rec, slot);
   } else {
     ++rect_count_;
-    grid_insert(s, slot);
+    grid_insert(rec, slot);
   }
 }
 
@@ -57,35 +131,38 @@ bool SubscriptionIndex::unsubscribe(std::uint64_t sub_id) {
   if (found == nullptr) return false;
   const std::uint32_t slot = *found;
   {
-    const Subscription& s = subs_[slot];
+    const SubRecord& s = hot_[slot];
     if (s.kind == SubKind::kFriend) {
       friends_remove(s);
     } else {
-      grid_remove(s, slot);
+      grid_remove(s);
       --rect_count_;
     }
   }
   index_.erase(sub_id);
-  const auto last = static_cast<std::uint32_t>(subs_.size() - 1);
+  const auto last = static_cast<std::uint32_t>(hot_.size() - 1);
   if (slot != last) {
-    // Swap-remove: the tail subscription moves into the freed slot, so
-    // every structure that names the tail slot must be repointed.
-    subs_[slot] = std::move(subs_[last]);
-    const Subscription& moved = subs_[slot];
+    // Swap-remove: the tail subscription moves into the freed slot (hot
+    // and cold rows together), so every structure that names the tail
+    // slot must be repointed.
+    hot_[slot] = hot_[last];
+    cold_[slot] = std::move(cold_[last]);
+    const SubRecord& moved = hot_[slot];
     *index_.find(moved.id) = slot;
     if (moved.kind == SubKind::kFriend) {
       friends_replace_slot(moved, slot);
     } else {
-      grid_replace_slot(moved, last, slot);
+      grid_replace_slot(moved, slot);
     }
   }
-  subs_.pop_back();
+  hot_.pop_back();
+  cold_.pop_back();
   return true;
 }
 
-const Subscription* SubscriptionIndex::find(std::uint64_t sub_id) const {
+const SubRecord* SubscriptionIndex::find(std::uint64_t sub_id) const {
   const std::uint32_t* slot = index_.find(sub_id);
-  return slot == nullptr ? nullptr : &subs_[*slot];
+  return slot == nullptr ? nullptr : &hot_[*slot];
 }
 
 void SubscriptionIndex::refresh() {
@@ -102,7 +179,7 @@ void SubscriptionIndex::rebuild_grid() {
   // the local subscription density.  Capped by ~2*sqrt(N) cells per axis
   // (grid memory stays linear in the population) and an absolute bound.
   double side_sum = 0.0;
-  for (const Subscription& s : subs_) {
+  for (const SubRecord& s : hot_) {
     if (s.kind == SubKind::kFriend) continue;
     side_sum += 0.5 * (s.area.width + s.area.height);
   }
@@ -120,34 +197,91 @@ void SubscriptionIndex::rebuild_grid() {
     if (dim > cap) dim = cap;
   }
   spec_ = overlay::UniformGridSpec::over(plane_, dim);
-  grid_.assign(spec_.cell_count(), {});
-  for (std::uint32_t slot = 0; slot < subs_.size(); ++slot) {
-    const Subscription& s = subs_[slot];
-    if (s.kind == SubKind::kFriend) continue;
-    grid_insert_unsorted(s, slot);
+
+  // Three passes keep the rebuild shift-free and allocation-exact: count
+  // entries per cell, reserve each cell once, then append in ascending
+  // sub-id order — the columns come out sorted without ever sorting.
+  std::vector<Entry> by_id;
+  by_id.reserve(rect_count_);
+  for (std::uint32_t slot = 0; slot < hot_.size(); ++slot) {
+    if (hot_[slot].kind == SubKind::kFriend) continue;
+    by_id.emplace_back(hot_[slot].id, slot);
   }
-  // Canonical bucket order: ascending sub id, so covering() emits matches
-  // pre-sorted from a single cell probe.
-  for (auto& bucket : grid_) std::sort(bucket.begin(), bucket.end());
+  std::sort(by_id.begin(), by_id.end());
+
+  std::vector<std::uint32_t> counts(spec_.cell_count(), 0);
+  const auto each_cell = [&](const Rect& r, auto&& fn) {
+    const std::size_t x0 = spec_.cell_x(r.x);
+    const std::size_t x1 = spec_.cell_x(r.right());
+    const std::size_t y0 = spec_.cell_y(r.y);
+    const std::size_t y1 = spec_.cell_y(r.top());
+    for (std::size_t cx = x0; cx <= x1; ++cx) {
+      for (std::size_t cy = y0; cy <= y1; ++cy) {
+        fn(spec_.index(cx, cy));
+      }
+    }
+  };
+  for (const auto& [id, slot] : by_id) {
+    each_cell(hot_[slot].area, [&](std::size_t cell) { ++counts[cell]; });
+  }
+  grid_.clear();
+  grid_.resize(spec_.cell_count());
+  for (std::size_t cell = 0; cell < grid_.size(); ++cell) {
+    grid_[cell].reserve(counts[cell]);
+  }
+  for (const auto& [id, slot] : by_id) {
+    const SubRecord& s = hot_[slot];
+    const std::uint32_t sk = pack_slot_kind(slot, s.kind);
+    each_cell(s.area,
+              [&](std::size_t cell) { grid_[cell].append(s.area, id, sk); });
+  }
   built_for_ = rect_count_;
   grid_valid_ = true;
 }
 
 void SubscriptionIndex::covering(const Point& p,
-                                 std::vector<std::uint32_t>& out) const {
+                                 std::vector<CoverMatch>& out) const {
   out.clear();
   if (rect_count_ == 0) return;
   // One cell is enough: a rect covering p was inserted into every cell it
   // touches, and the clamped cell of p lies inside [cell(r.x), cell(r.right)]
   // x [cell(r.y), cell(r.top)] whenever the half-open cover test passes.
-  const auto& bucket = grid_[spec_.index(spec_.cell_x(p.x), spec_.cell_y(p.y))];
-  for (const Entry& e : bucket) {
-    if (subs_[e.second].area.covers(p)) out.push_back(e.second);
+  const detail::CellSoA& cell =
+      grid_[spec_.index(spec_.cell_x(p.x), spec_.cell_y(p.y))];
+  const std::uint32_t n = cell.size();
+  // Chunked through a stack buffer: the SIMD scan stays allocation-free
+  // whatever the cell population, and indices stay ascending.
+  constexpr std::uint32_t kChunk = 128;
+  std::uint32_t lanes[kChunk];
+  for (std::uint32_t base = 0; base < n; base += kChunk) {
+    const std::uint32_t len = n - base < kChunk ? n - base : kChunk;
+    const std::size_t hits = common::filter_rects_covering_point(
+        cell.lo_x() + base, cell.lo_y() + base, cell.hi_x() + base,
+        cell.hi_y() + base, len, p.x, p.y, lanes);
+    for (std::size_t k = 0; k < hits; ++k) {
+      const std::uint32_t idx = base + lanes[k];
+      const std::uint32_t sk = cell.slot_kinds()[idx];
+      out.push_back(CoverMatch{cell.ids()[idx], slot_of(sk), kind_of(sk)});
+    }
   }
 }
 
-void SubscriptionIndex::grid_insert(const Subscription& sub,
-                                    std::uint32_t slot) {
+void SubscriptionIndex::grid_insert(const SubRecord& sub, std::uint32_t slot) {
+  const Rect& r = sub.area;
+  const std::uint32_t sk = pack_slot_kind(slot, sub.kind);
+  const std::size_t x0 = spec_.cell_x(r.x);
+  const std::size_t x1 = spec_.cell_x(r.right());
+  const std::size_t y0 = spec_.cell_y(r.y);
+  const std::size_t y1 = spec_.cell_y(r.top());
+  for (std::size_t cx = x0; cx <= x1; ++cx) {
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      detail::CellSoA& cell = grid_[spec_.index(cx, cy)];
+      cell.insert(cell.lower_bound(sub.id), r, sub.id, sk);
+    }
+  }
+}
+
+void SubscriptionIndex::grid_remove(const SubRecord& sub) {
   const Rect& r = sub.area;
   const std::size_t x0 = spec_.cell_x(r.x);
   const std::size_t x1 = spec_.cell_x(r.right());
@@ -155,68 +289,39 @@ void SubscriptionIndex::grid_insert(const Subscription& sub,
   const std::size_t y1 = spec_.cell_y(r.top());
   for (std::size_t cx = x0; cx <= x1; ++cx) {
     for (std::size_t cy = y0; cy <= y1; ++cy) {
-      auto& bucket = grid_[spec_.index(cx, cy)];
-      bucket.insert(lower_bound_id(bucket, sub.id), Entry{sub.id, slot});
+      detail::CellSoA& cell = grid_[spec_.index(cx, cy)];
+      const std::uint32_t pos = cell.lower_bound(sub.id);
+      if (pos < cell.size() && cell.ids()[pos] == sub.id) cell.erase(pos);
     }
   }
 }
 
-void SubscriptionIndex::grid_insert_unsorted(const Subscription& sub,
-                                             std::uint32_t slot) {
-  const Rect& r = sub.area;
-  const std::size_t x0 = spec_.cell_x(r.x);
-  const std::size_t x1 = spec_.cell_x(r.right());
-  const std::size_t y0 = spec_.cell_y(r.y);
-  const std::size_t y1 = spec_.cell_y(r.top());
-  for (std::size_t cx = x0; cx <= x1; ++cx) {
-    for (std::size_t cy = y0; cy <= y1; ++cy) {
-      grid_[spec_.index(cx, cy)].push_back(Entry{sub.id, slot});
-    }
-  }
-}
-
-void SubscriptionIndex::grid_remove(const Subscription& sub,
-                                    std::uint32_t slot) {
-  (void)slot;
-  const Rect& r = sub.area;
-  const std::size_t x0 = spec_.cell_x(r.x);
-  const std::size_t x1 = spec_.cell_x(r.right());
-  const std::size_t y0 = spec_.cell_y(r.y);
-  const std::size_t y1 = spec_.cell_y(r.top());
-  for (std::size_t cx = x0; cx <= x1; ++cx) {
-    for (std::size_t cy = y0; cy <= y1; ++cy) {
-      auto& bucket = grid_[spec_.index(cx, cy)];
-      const auto it = lower_bound_id(bucket, sub.id);
-      if (it != bucket.end() && it->first == sub.id) bucket.erase(it);
-    }
-  }
-}
-
-void SubscriptionIndex::grid_replace_slot(const Subscription& sub,
-                                          std::uint32_t old_slot,
+void SubscriptionIndex::grid_replace_slot(const SubRecord& sub,
                                           std::uint32_t new_slot) {
-  (void)old_slot;
   const Rect& r = sub.area;
+  const std::uint32_t sk = pack_slot_kind(new_slot, sub.kind);
   const std::size_t x0 = spec_.cell_x(r.x);
   const std::size_t x1 = spec_.cell_x(r.right());
   const std::size_t y0 = spec_.cell_y(r.y);
   const std::size_t y1 = spec_.cell_y(r.top());
   for (std::size_t cx = x0; cx <= x1; ++cx) {
     for (std::size_t cy = y0; cy <= y1; ++cy) {
-      auto& bucket = grid_[spec_.index(cx, cy)];
-      const auto it = lower_bound_id(bucket, sub.id);
-      if (it != bucket.end() && it->first == sub.id) it->second = new_slot;
+      detail::CellSoA& cell = grid_[spec_.index(cx, cy)];
+      const std::uint32_t pos = cell.lower_bound(sub.id);
+      if (pos < cell.size() && cell.ids()[pos] == sub.id) {
+        cell.set_slot_kind(pos, sk);
+      }
     }
   }
 }
 
-void SubscriptionIndex::friends_insert(const Subscription& sub,
+void SubscriptionIndex::friends_insert(const SubRecord& sub,
                                        std::uint32_t slot) {
   auto& list = *friends_.try_emplace(sub.friend_user).first;
   list.insert(lower_bound_id(list, sub.id), Entry{sub.id, slot});
 }
 
-void SubscriptionIndex::friends_remove(const Subscription& sub) {
+void SubscriptionIndex::friends_remove(const SubRecord& sub) {
   std::vector<Entry>* list = friends_.find(sub.friend_user);
   if (list == nullptr) return;
   const auto it = lower_bound_id(*list, sub.id);
@@ -224,12 +329,78 @@ void SubscriptionIndex::friends_remove(const Subscription& sub) {
   if (list->empty()) friends_.erase(sub.friend_user);
 }
 
-void SubscriptionIndex::friends_replace_slot(const Subscription& sub,
+void SubscriptionIndex::friends_replace_slot(const SubRecord& sub,
                                              std::uint32_t new_slot) {
   std::vector<Entry>* list = friends_.find(sub.friend_user);
   if (list == nullptr) return;
   const auto it = lower_bound_id(*list, sub.id);
   if (it != list->end() && it->first == sub.id) it->second = new_slot;
+}
+
+bool SubscriptionIndex::validate() const {
+  if (hot_.size() != cold_.size()) return false;
+  if (index_.size() != hot_.size()) return false;
+
+  std::size_t rects = 0;
+  std::size_t friend_subs = 0;
+  std::size_t expected_grid_entries = 0;
+  for (std::uint32_t slot = 0; slot < hot_.size(); ++slot) {
+    const SubRecord& s = hot_[slot];
+    const std::uint32_t* mapped = index_.find(s.id);
+    if (mapped == nullptr || *mapped != slot) return false;
+    if (s.kind == SubKind::kFriend) {
+      ++friend_subs;
+      const auto* list = friends_.find(s.friend_user);
+      if (list == nullptr) return false;
+      const auto it = std::lower_bound(
+          list->begin(), list->end(), s.id,
+          [](const Entry& e, std::uint64_t key) { return e.first < key; });
+      if (it == list->end() || it->first != s.id || it->second != slot) {
+        return false;
+      }
+      continue;
+    }
+    ++rects;
+    // Every covered cell must hold exactly this sub's columns at the id's
+    // sorted position: edges as stored half-open bounds, packed slot+kind
+    // repointed to the current slot.
+    const Rect& r = s.area;
+    const std::size_t x0 = spec_.cell_x(r.x);
+    const std::size_t x1 = spec_.cell_x(r.right());
+    const std::size_t y0 = spec_.cell_y(r.y);
+    const std::size_t y1 = spec_.cell_y(r.top());
+    for (std::size_t cx = x0; cx <= x1; ++cx) {
+      for (std::size_t cy = y0; cy <= y1; ++cy) {
+        ++expected_grid_entries;
+        const detail::CellSoA& cell = grid_[spec_.index(cx, cy)];
+        const std::uint32_t pos = cell.lower_bound(s.id);
+        if (pos >= cell.size() || cell.ids()[pos] != s.id) return false;
+        if (cell.lo_x()[pos] != r.x || cell.lo_y()[pos] != r.y ||
+            cell.hi_x()[pos] != r.right() || cell.hi_y()[pos] != r.top()) {
+          return false;
+        }
+        if (cell.slot_kinds()[pos] != pack_slot_kind(slot, s.kind)) {
+          return false;
+        }
+      }
+    }
+  }
+  if (rects != rect_count_) return false;
+
+  std::size_t grid_entries = 0;
+  for (const detail::CellSoA& cell : grid_) {
+    grid_entries += cell.size();
+    for (std::uint32_t i = 1; i < cell.size(); ++i) {
+      if (cell.ids()[i - 1] >= cell.ids()[i]) return false;  // sorted, unique
+    }
+  }
+  if (grid_entries != expected_grid_entries) return false;
+
+  std::size_t friend_entries = 0;
+  friends_.for_each([&](const UserId&, const std::vector<Entry>& list) {
+    friend_entries += list.size();
+  });
+  return friend_entries == friend_subs;
 }
 
 }  // namespace geogrid::pubsub

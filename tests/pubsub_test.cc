@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "mobility/motion.h"
 #include "mobility/sharded_directory.h"
 #include "overlay/partition.h"
@@ -58,11 +59,11 @@ LocationRecord rec(std::uint32_t user, double x, double y,
 
 std::vector<std::uint64_t> covering_ids(const SubscriptionIndex& idx,
                                         const Point& p) {
-  std::vector<std::uint32_t> slots;
-  idx.covering(p, slots);
+  std::vector<CoverMatch> matches;
+  idx.covering(p, matches);
   std::vector<std::uint64_t> ids;
-  ids.reserve(slots.size());
-  for (const std::uint32_t s : slots) ids.push_back(idx.at(s).id);
+  ids.reserve(matches.size());
+  for (const CoverMatch& m : matches) ids.push_back(m.id);
   return ids;
 }
 
@@ -100,7 +101,7 @@ std::vector<std::vector<LocationRecord>> make_trace(std::size_t users,
 TEST(SubscriptionIndex, CoveringMatchesBruteForce) {
   SubscriptionIndex idx(kPlane);
   Rng rng(404);
-  std::vector<Subscription> reference;
+  std::vector<SubRecord> reference;
   for (std::uint64_t id = 1; id <= 200; ++id) {
     const double w = rng.uniform(0.25, 8.0);
     const double h = rng.uniform(0.25, 8.0);
@@ -109,7 +110,7 @@ TEST(SubscriptionIndex, CoveringMatchesBruteForce) {
     const Rect area{x, y, w, h};
     const SubKind kind = rng.chance(0.5) ? SubKind::kGeofence : SubKind::kRange;
     idx.subscribe(sub_msg(id, area), kind);
-    reference.push_back(Subscription{id, kind, area, UserId{}, NodeId{}, ""});
+    reference.push_back(SubRecord{id, kind, area, UserId{}});
   }
   idx.refresh();
   EXPECT_GT(idx.grid_dim(), 1u);  // population large enough to tune the grid
@@ -163,12 +164,11 @@ TEST(SubscriptionIndex, UnsubscribeSwapRemoveKeepsProbesCorrect) {
   // fixed up.  Probe after each removal against brute force.
   SubscriptionIndex idx(kPlane);
   Rng rng(11);
-  std::vector<Subscription> reference;
+  std::vector<SubRecord> reference;
   for (std::uint64_t id = 1; id <= 64; ++id) {
     const Rect area{rng.uniform(0, 56), rng.uniform(0, 56), 6, 6};
     idx.subscribe(sub_msg(id, area));
-    reference.push_back(
-        Subscription{id, SubKind::kGeofence, area, UserId{}, NodeId{}, ""});
+    reference.push_back(SubRecord{id, SubKind::kGeofence, area, UserId{}});
   }
   idx.refresh();
   std::vector<std::uint64_t> order(64);
@@ -207,6 +207,190 @@ TEST(SubscriptionIndex, FriendSubscriptionsIndexByTrackedUser) {
   EXPECT_EQ(idx.friends_of(UserId{42})->size(), 1u);
   EXPECT_TRUE(idx.unsubscribe(5));
   EXPECT_EQ(idx.friends_of(UserId{42}), nullptr);  // empty list dropped
+}
+
+TEST(SubscriptionIndex, CoverMatchTriplesCarrySlotAndKind) {
+  // covering() emits (id, slot, kind) so the match loop never dereferences
+  // the slot array; the triple must agree with the slot array anyway.
+  SubscriptionIndex idx(kPlane);
+  idx.subscribe(sub_msg(4, Rect{8, 8, 8, 8}), SubKind::kGeofence);
+  idx.subscribe(sub_msg(2, Rect{10, 10, 8, 8}), SubKind::kRange);
+  std::vector<CoverMatch> matches;
+  idx.covering(Point{12, 12}, matches);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].id, 2u);  // ascending sub-id order
+  EXPECT_EQ(matches[0].kind, SubKind::kRange);
+  EXPECT_EQ(matches[1].id, 4u);
+  EXPECT_EQ(matches[1].kind, SubKind::kGeofence);
+  for (const CoverMatch& m : matches) {
+    EXPECT_EQ(idx.at(m.slot).id, m.id);
+    EXPECT_EQ(idx.at(m.slot).kind, m.kind);
+  }
+}
+
+TEST(SubscriptionIndex, SimdCoveringParityRandomized) {
+  // The SIMD probe (SoA cell columns + filter_rects_covering_point)
+  // against a brute-force scalar scan over every rect subscription:
+  // random rects plus the adversarial shapes — rects degenerate to lines
+  // and points (cover nothing under the half-open test), rects flush with
+  // the plane edges — probed at random points and exactly on subscription
+  // boundaries, across populations small enough for a 1-cell grid and
+  // large enough for a tuned one.
+  for (const std::size_t population : {3u, 40u, 400u}) {
+    SubscriptionIndex idx(kPlane);
+    Rng rng(9000 + population);
+    std::vector<SubRecord> reference;
+    std::uint64_t id = 0;
+    const auto add = [&](const Rect& area) {
+      ++id;
+      const SubKind kind =
+          rng.chance(0.5) ? SubKind::kGeofence : SubKind::kRange;
+      idx.subscribe(sub_msg(id, area), kind);
+      reference.push_back(SubRecord{id, kind, area, UserId{}});
+    };
+    for (std::size_t i = 0; i < population; ++i) {
+      const double roll = rng.uniform();
+      if (roll < 0.1) {
+        // Degenerate: a vertical line, horizontal line, or point.
+        const double w = rng.chance(0.5) ? 0.0 : rng.uniform(0.5, 4.0);
+        const double h = w > 0.0 && rng.chance(0.5) ? 0.0
+                                                    : rng.uniform(0.0, 4.0);
+        add(Rect{rng.uniform(0.0, 60.0), rng.uniform(0.0, 60.0), w,
+                 rng.chance(0.3) ? 0.0 : h});
+      } else if (roll < 0.25) {
+        // Flush with a plane edge (or spanning the full plane).
+        if (rng.chance(0.3)) {
+          add(Rect{0, 0, 64, 64});
+        } else {
+          const double w = rng.uniform(1.0, 8.0);
+          const double h = rng.uniform(1.0, 8.0);
+          add(rng.chance(0.5) ? Rect{0.0, rng.uniform(0.0, 64.0 - h), w, h}
+                              : Rect{64.0 - w, rng.uniform(0.0, 64.0 - h),
+                                     w, h});
+        }
+      } else {
+        const double w = rng.uniform(0.25, 10.0);
+        const double h = rng.uniform(0.25, 10.0);
+        add(Rect{rng.uniform(0.0, 64.0 - w), rng.uniform(0.0, 64.0 - h), w,
+                 h});
+      }
+    }
+    idx.refresh();
+    ASSERT_TRUE(idx.validate());
+
+    std::vector<Point> probes;
+    for (int i = 0; i < 300; ++i) {
+      probes.push_back(Point{rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0)});
+    }
+    // Half-open boundary hits: probe exactly on corners and edge midpoints
+    // of sampled subscription rects (west/south must exclude, east/north
+    // must include — brute force is the oracle either way).
+    for (int i = 0; i < 60; ++i) {
+      const Rect& r = reference[rng.uniform_index(reference.size())].area;
+      probes.push_back(Point{r.x, r.y});
+      probes.push_back(Point{r.right(), r.top()});
+      probes.push_back(Point{r.x, r.top()});
+      probes.push_back(Point{r.right(), r.y});
+      probes.push_back(Point{r.x + r.width / 2.0, r.y});
+      probes.push_back(Point{r.x, r.y + r.height / 2.0});
+      probes.push_back(Point{r.x + r.width / 2.0, r.top()});
+      probes.push_back(Point{r.right(), r.y + r.height / 2.0});
+    }
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      std::vector<std::uint64_t> expected;
+      for (const SubRecord& s : reference) {
+        if (s.area.covers(probes[p])) expected.push_back(s.id);
+      }
+      ASSERT_EQ(covering_ids(idx, probes[p]), expected)
+          << "population " << population << " probe " << p << " at ("
+          << probes[p].x << ", " << probes[p].y << ")";
+    }
+  }
+}
+
+TEST(SubscriptionIndex, SubscribeUnsubscribeResubscribeKeepsColumnsInSync) {
+  // The swap-remove dance must keep the hot SoA columns, the cold
+  // side-table and the friend lists exactly consistent through arbitrary
+  // churn — validate() audits every covered cell after each step.
+  SubscriptionIndex idx(kPlane);
+  Rng rng(77);
+  for (std::uint64_t id = 1; id <= 40; ++id) {
+    if (id % 5 == 0) {
+      idx.subscribe_friend(sub_msg(id, Rect{}, "f"),
+                           UserId{static_cast<std::uint32_t>(id)});
+    } else {
+      idx.subscribe(sub_msg(id, Rect{rng.uniform(0, 56), rng.uniform(0, 56),
+                                     4, 4},
+                            "area"),
+                    id % 2 == 0 ? SubKind::kRange : SubKind::kGeofence);
+    }
+    ASSERT_TRUE(idx.validate()) << "after subscribe " << id;
+  }
+  idx.refresh();
+  ASSERT_TRUE(idx.validate());
+
+  // Unsubscribe half (hitting both ends of the slot array), then
+  // resubscribe the same ids with new geometry and kind.
+  for (std::uint64_t id = 1; id <= 40; id += 2) {
+    ASSERT_TRUE(idx.unsubscribe(id));
+    ASSERT_TRUE(idx.validate()) << "after unsubscribe " << id;
+  }
+  for (std::uint64_t id = 1; id <= 40; id += 2) {
+    idx.subscribe(sub_msg(id, Rect{rng.uniform(0, 60), rng.uniform(0, 60),
+                                   2, 2},
+                          "back"),
+                  SubKind::kRange);
+    ASSERT_TRUE(idx.validate()) << "after resubscribe " << id;
+  }
+  EXPECT_EQ(idx.size(), 40u);
+  // Resubscribing a *resident* id replaces in place (unsubscribe+insert);
+  // columns must stay in sync through the replacement too.
+  idx.subscribe(sub_msg(2, Rect{1, 1, 2, 2}, "moved"), SubKind::kGeofence);
+  ASSERT_TRUE(idx.validate());
+  EXPECT_EQ(idx.size(), 40u);
+  EXPECT_EQ(covering_ids(idx, Point{2, 2}),
+            (std::vector<std::uint64_t>{2}));
+  // The cold side-table moved with the hot row.
+  const SubRecord* rec = idx.find(2);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(*idx.filter_of(2), "moved");
+}
+
+TEST(SubscriptionIndex, FilterRectsCoveringPointMatchesScalar) {
+  // The simd.h kernel directly, including tails shorter than a vector
+  // width and boundary-exact probe coordinates.
+  Rng rng(31337);
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 5u, 8u, 13u, 64u, 127u}) {
+    std::vector<double> lo_x(n), lo_y(n), hi_x(n), hi_y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      lo_x[i] = rng.uniform(0.0, 32.0);
+      lo_y[i] = rng.uniform(0.0, 32.0);
+      // Mix in degenerate (hi == lo) columns.
+      hi_x[i] = lo_x[i] + (rng.chance(0.2) ? 0.0 : rng.uniform(0.0, 32.0));
+      hi_y[i] = lo_y[i] + (rng.chance(0.2) ? 0.0 : rng.uniform(0.0, 32.0));
+    }
+    for (int probe = 0; probe < 50; ++probe) {
+      Point p{rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0)};
+      if (n > 0 && probe % 3 == 0) {
+        // Land exactly on someone's edges.
+        const std::size_t i = rng.uniform_index(n);
+        p.x = rng.chance(0.5) ? lo_x[i] : hi_x[i];
+        p.y = rng.chance(0.5) ? lo_y[i] : hi_y[i];
+      }
+      std::vector<std::uint32_t> got(n + 1);
+      got.resize(common::filter_rects_covering_point(
+          lo_x.data(), lo_y.data(), hi_x.data(), hi_y.data(), n, p.x, p.y,
+          got.data()));
+      std::vector<std::uint32_t> want;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (lo_x[i] < p.x && p.x <= hi_x[i] && lo_y[i] < p.y &&
+            p.y <= hi_y[i]) {
+          want.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      ASSERT_EQ(got, want) << "n=" << n << " probe=" << probe;
+    }
+  }
 }
 
 // --- NotificationEngine: event semantics ---------------------------------
