@@ -52,4 +52,41 @@ struct SimulationOptions {
   std::size_t notify_threads = 0;
 };
 
+/// Configuration of the serving edge (serve::Server) — the event loop that
+/// puts the engines behind real sockets.  All sizes are deliberately
+/// test-tunable: the backpressure and framing tests shrink them to single
+/// digits to force the rare paths deterministically.
+struct ServeOptions {
+  /// TCP port to listen on (loopback only).  0 = kernel-assigned
+  /// ephemeral port, readable from Server::port() after start().
+  std::uint16_t port = 0;
+  std::size_t listen_backlog = 128;
+
+  /// Ingest batching: staged LocationUpdates are applied to the directory
+  /// in one batch once this many are pending (or the deadline expires).
+  std::size_t ingest_flush_records = 4096;
+  /// Oldest staged update may wait at most this long before a flush.
+  std::uint32_t flush_deadline_ms = 25;
+  /// Mid-cycle hard cap on staged queries; the natural flush point is the
+  /// end of every event-loop cycle, so this only bounds a single cycle
+  /// that reads an enormous burst.
+  std::size_t query_flush_requests = 8192;
+
+  /// Backpressure watermark: once this many ingest records are staged,
+  /// the loop stops reading from sockets that contribute updates until
+  /// the next flush drains the queue.
+  std::size_t backpressure_records = 65536;
+  /// Hard ceiling on one frame's body; a peer announcing more is cut off
+  /// before anything is buffered.
+  std::size_t max_frame_bytes = 1u << 20;
+  /// A connection whose unsent output exceeds this stops being read from
+  /// (its requests would only pile up more output); at 4x this the peer
+  /// is declared a dead consumer and closed.
+  std::size_t outbuf_gate_bytes = 1u << 20;
+
+  /// Use the portable poll(2) backend instead of epoll.  Same semantics,
+  /// chosen at runtime so tests exercise both.
+  bool use_poll = false;
+};
+
 }  // namespace geogrid::core

@@ -1,0 +1,156 @@
+// Reusable batch staging between a message-at-a-time producer and the
+// batch-oriented engines.
+//
+// Every engine in this codebase earns its throughput from batching:
+// ShardedDirectory::apply_updates amortises shard fan-out and epoch
+// bookkeeping over thousands of records, and QueryEngine::run amortises
+// snapshot publication and worker-pool dispatch the same way.  The serving
+// edge, though, receives work one decoded message at a time.  IngestSink
+// and QueryBatcher are the adaptors: they accumulate single items into
+// exactly the spans the engines want, tell the caller when a watermark is
+// crossed (so the event loop can flush on size), and replay results in
+// arrival order (so per-connection reply ordering is a structural
+// guarantee, not a convention).
+//
+// Neither class owns a thread or a clock.  Deadline-based flushing is the
+// event loop's job — it knows when its poll cycle ends; these classes only
+// make "how much is pending" and "flush now" cheap and allocation-stable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mobility/location_store.h"
+#include "mobility/query_engine.h"
+#include "mobility/sharded_directory.h"
+
+namespace geogrid::mobility {
+
+/// Stages LocationRecords and applies them to a ShardedDirectory in one
+/// apply_updates call per flush.
+class IngestSink {
+ public:
+  struct Options {
+    /// add() starts returning true ("please flush") at this many pending
+    /// records.  Crossing the watermark never flushes implicitly — the
+    /// caller picks the moment so replies and notifications stay ordered.
+    std::size_t flush_records = 4096;
+  };
+
+  struct Counters {
+    std::uint64_t records = 0;       ///< total records flushed
+    std::uint64_t flushes = 0;       ///< non-empty flushes
+    std::uint64_t max_batch = 0;     ///< largest single flush
+  };
+
+  explicit IngestSink(ShardedDirectory& directory)
+      : IngestSink(directory, Options()) {}
+  IngestSink(ShardedDirectory& directory, Options options)
+      : directory_(directory), options_(options) {}
+
+  /// Stages one record.  Returns true when pending() has reached the
+  /// flush watermark.
+  bool add(const LocationRecord& rec) {
+    staged_.push_back(rec);
+    return staged_.size() >= options_.flush_records;
+  }
+
+  /// Applies everything staged in one directory batch; no-op when empty.
+  /// Returns the number of records applied.
+  std::size_t flush() {
+    if (staged_.empty()) return 0;
+    directory_.apply_updates(staged_);
+    const std::size_t n = staged_.size();
+    counters_.records += n;
+    counters_.flushes += 1;
+    if (n > counters_.max_batch) counters_.max_batch = n;
+    staged_.clear();
+    return n;
+  }
+
+  std::size_t pending() const noexcept { return staged_.size(); }
+  std::span<const LocationRecord> pending_records() const noexcept {
+    return staged_;
+  }
+  const Options& options() const noexcept { return options_; }
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  ShardedDirectory& directory_;
+  Options options_;
+  Counters counters_;
+  std::vector<LocationRecord> staged_;
+};
+
+/// Stages Queries tagged with an opaque caller token (e.g. connection
+/// serial + request id) and runs them as one QueryEngine batch, handing
+/// each result back with its token in arrival order.
+class QueryBatcher {
+ public:
+  struct Options {
+    /// add() starts returning true at this many pending requests.
+    std::size_t flush_requests = 1024;
+  };
+
+  /// Caller context carried alongside each query, returned untouched with
+  /// its result.  The serving edge packs (connection serial, query id)
+  /// here; tests pack indices.
+  struct Token {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+
+  struct Counters {
+    std::uint64_t queries = 0;  ///< total queries flushed
+    std::uint64_t flushes = 0;  ///< non-empty flushes
+  };
+
+  explicit QueryBatcher(QueryEngine& engine)
+      : QueryBatcher(engine, Options()) {}
+  QueryBatcher(QueryEngine& engine, Options options)
+      : engine_(engine), options_(options) {}
+
+  /// Stages one query.  Returns true when pending() has reached the
+  /// flush watermark.
+  bool add(const Query& q, Token token) {
+    staged_.push_back(q);
+    tokens_.push_back(token);
+    return staged_.size() >= options_.flush_requests;
+  }
+
+  /// Runs everything staged as one engine batch and invokes `emit` once
+  /// per request, in arrival order, with the request's token and result.
+  /// Staging is moved to locals first, so emit callbacks may stage new
+  /// queries without invalidating the batch being delivered.  Returns the
+  /// number of queries executed.
+  std::size_t flush(
+      const std::function<void(Token, const QueryResult&)>& emit) {
+    if (staged_.empty()) return 0;
+    std::vector<Query> batch = std::move(staged_);
+    std::vector<Token> tokens = std::move(tokens_);
+    staged_.clear();
+    tokens_.clear();
+    std::vector<QueryResult> results = engine_.run(batch);
+    counters_.queries += batch.size();
+    counters_.flushes += 1;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      emit(tokens[i], results[i]);
+    }
+    return batch.size();
+  }
+
+  std::size_t pending() const noexcept { return staged_.size(); }
+  const Options& options() const noexcept { return options_; }
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  QueryEngine& engine_;
+  Options options_;
+  Counters counters_;
+  std::vector<Query> staged_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace geogrid::mobility

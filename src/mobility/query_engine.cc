@@ -16,6 +16,29 @@ void QueryResult::encode(net::Writer& w) const {
   for (const LocationRecord& rec : records) rec.encode(w);
 }
 
+QueryResult QueryResult::decode(net::Reader& r) {
+  QueryResult out;
+  const std::uint64_t kind = r.varint();
+  if (kind > static_cast<std::uint64_t>(Query::Kind::kNearest)) {
+    throw net::CodecError("unknown query result kind " + std::to_string(kind));
+  }
+  out.kind = static_cast<Query::Kind>(kind);
+  if (out.kind == Query::Kind::kLocate) {
+    out.found = r.boolean();
+    if (out.found) out.located = LocationRecord::decode(r);
+    return out;
+  }
+  const std::uint64_t count = r.varint();
+  // Untrusted count: reserve only a sane floor and let growth be paced by
+  // the bytes actually present (decode throws on truncation long before a
+  // bogus huge count could materialise as records).
+  out.records.reserve(std::min<std::uint64_t>(count, 1024));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.records.push_back(LocationRecord::decode(r));
+  }
+  return out;
+}
+
 void QueryEngine::serialize(net::Writer& w,
                             std::span<const QueryResult> results) {
   w.varint(results.size());
@@ -102,9 +125,14 @@ void QueryEngine::exec(const DirectorySnapshot& snapshot, const Query& q,
     }
     case Query::Kind::kRange: {
       ++c.ranges;
-      // Grid-indexed discovery, merged in ascending region-id order (the
-      // canonical order intersecting() returns) — identical output for
-      // every shard layout of the same stores.
+      // Grid-indexed discovery merged across regions, then canonically
+      // ordered by user id: a store's internal order reflects insertion
+      // order, so without the sort two directories holding identical
+      // records would answer in different orders whenever their updates
+      // arrived interleaved differently (e.g. concurrent wire clients vs
+      // a sequential replay).  Sorting makes the result a pure function
+      // of directory *content* — identical bytes for every shard layout
+      // and every ingestion schedule.
       resolver_.intersecting(q.rect, scratch.regions);
       for (const RegionId id : scratch.regions) {
         const LocationStore* st = snapshot.store(id);
@@ -112,6 +140,10 @@ void QueryEngine::exec(const DirectorySnapshot& snapshot, const Query& q,
         ++c.regions_scanned;
         st->range_into(q.rect, out.records);
       }
+      std::sort(out.records.begin(), out.records.end(),
+                [](const LocationRecord& a, const LocationRecord& b) {
+                  return a.user.value < b.user.value;
+                });
       c.records_returned += out.records.size();
       return;
     }

@@ -96,6 +96,11 @@ struct QueryResult {
   /// Canonical encoding (kind tag + payload).  Equal answers mean equal
   /// bytes — the unit the invariance tests compare.
   void encode(net::Writer& w) const;
+
+  /// Inverse of encode, for the wire client reconstructing an engine
+  /// answer from a reply payload.  Throws net::CodecError on malformed
+  /// input, like every other decode in the codec.
+  static QueryResult decode(net::Reader& r);
 };
 
 class QueryEngine {

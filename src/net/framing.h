@@ -1,0 +1,102 @@
+// Stream framing for the binary wire protocol.
+//
+// A TCP connection delivers an undelimited byte stream; the serving edge
+// needs record boundaries on top of it.  A frame is
+//
+//   [varint length N][N bytes: u16 type + payload]
+//
+// i.e. the length prefix covers exactly what encode_message produces.  The
+// writer side is append_frame; the reader side is FrameDecoder, an
+// incremental reassembler built for *untrusted* bytes — the first thing a
+// real socket hands you is the one input the rest of the codebase never
+// sees, so every failure mode is a typed result, never an exception
+// escaping into the event loop and never a read past the buffered bytes:
+//
+//   * a frame split across arbitrarily many reads (byte-at-a-time included)
+//     reports kNeedMore until the last byte lands;
+//   * a length prefix whose varint is wider than 5 bytes is malformed
+//     (lengths are capped far below 2^35) — kError, not an infinite wait;
+//   * a length prefix exceeding Options::max_frame_bytes is rejected
+//     before any buffering of the oversized body — a 4GB announcement
+//     costs the peer its connection, not the server its memory;
+//   * a complete frame whose body fails message decoding (unknown type
+//     tag, truncated field, trailing garbage) is kError with the codec's
+//     reason.
+//
+// Errors are sticky: after the first kError the stream position is
+// unrecoverable (framing is lost), so the caller must drop the connection.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/messages.h"
+
+namespace geogrid::net {
+
+/// Default ceiling on one frame's body size.  Generous for every message
+/// the protocol defines (the largest — LoadStatsExchange with hundreds of
+/// snapshots — is tens of KB) while bounding what one peer can make the
+/// server buffer.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Appends one framed message to `out`; returns the framed size in bytes.
+std::size_t append_frame(const Message& m, std::vector<std::byte>& out);
+
+/// Convenience: a single framed message as a fresh buffer.
+std::vector<std::byte> encode_frame(const Message& m);
+
+class FrameDecoder {
+ public:
+  struct Options {
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  };
+
+  enum class Status : std::uint8_t {
+    kFrame = 0,     ///< one complete message extracted
+    kNeedMore = 1,  ///< the buffered bytes end mid-frame; feed() more
+    kError = 2,     ///< malformed stream; the connection must be dropped
+  };
+
+  struct Result {
+    Status status = Status::kNeedMore;
+    std::optional<Message> message;  ///< set exactly when status == kFrame
+    std::string error;               ///< set exactly when status == kError
+  };
+
+  FrameDecoder() = default;
+  explicit FrameDecoder(Options options) : options_(options) {}
+
+  /// Appends raw bytes received from the stream.  No parsing happens here;
+  /// feeding after an error is a harmless no-op.
+  void feed(const std::byte* data, std::size_t n);
+  void feed(const std::vector<std::byte>& bytes) {
+    feed(bytes.data(), bytes.size());
+  }
+
+  /// Attempts to extract the next complete frame.  Never throws, never
+  /// reads beyond the fed bytes.  Call in a loop until kNeedMore (or
+  /// kError, which is terminal).
+  Result next();
+
+  /// Bytes fed but not yet consumed by complete frames.
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+  /// True once any kError was returned; every later next() repeats it.
+  bool failed() const noexcept { return failed_; }
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Result fail(std::string reason);
+
+  Options options_{};
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace geogrid::net

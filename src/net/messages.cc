@@ -68,6 +68,7 @@ std::string_view message_name(MsgType type) {
     case MsgType::kUserHandoff: return "UserHandoff";
     case MsgType::kLocateRequest: return "LocateRequest";
     case MsgType::kLocateReply: return "LocateReply";
+    case MsgType::kNearestRequest: return "NearestRequest";
   }
   return "Unknown";
 }

@@ -81,13 +81,14 @@ enum class MsgType : std::uint16_t {
   kUserHandoff = 92,
   kLocateRequest = 93,
   kLocateReply = 94,
+  kNearestRequest = 95,
 };
 
 /// Array size for counters indexed by raw MsgType value (the tags are
-/// stable, dense-enough protocol constants — a 95-slot array beats a
+/// stable, dense-enough protocol constants — a 96-slot array beats a
 /// node-based map on every send).
 inline constexpr std::size_t kMsgTypeSlots =
-    static_cast<std::size_t>(MsgType::kLocateReply) + 1;
+    static_cast<std::size_t>(MsgType::kNearestRequest) + 1;
 
 namespace detail {
 
@@ -1006,6 +1007,31 @@ struct LocateReply {
   }
 };
 
+/// k-nearest-neighbour query from a serving-edge client: the `k` users
+/// closest to `center`.  Answered with a QueryResult whose payload is the
+/// canonical mobility::QueryResult encoding (kind tag + records), the same
+/// bytes the in-process engine serializes — which is what lets the loopback
+/// bench byte-compare wire streams against engine output.
+struct NearestRequest {
+  static constexpr MsgType kType = MsgType::kNearestRequest;
+  std::uint64_t query_id = 0;
+  Point center{};
+  std::uint32_t k = 0;
+
+  void encode(Writer& w) const {
+    w.u64(query_id);
+    w.point(center);
+    w.u32(k);
+  }
+  static NearestRequest decode(Reader& r) {
+    NearestRequest m;
+    m.query_id = r.u64();
+    m.center = r.point();
+    m.k = r.u32();
+    return m;
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Envelope variant + framing.
 // ---------------------------------------------------------------------------
@@ -1021,7 +1047,7 @@ using Message = std::variant<
     TtlSearchRequest, TtlSearchReply, OwnerProbe, Routed, LocationQuery,
     QueryResult, Subscribe, SubscribeAck, Publish, Notify, Unsubscribe,
     LocationUpdate, LocationUpdateAck, UserHandoff, LocateRequest,
-    LocateReply>;
+    LocateReply, NearestRequest>;
 
 /// Wire tag of a message held in the variant.
 MsgType message_type(const Message& m);

@@ -1,0 +1,242 @@
+// FrameDecoder against hostile and fragmented byte streams: the serving
+// edge's first line of defence must turn every malformed input into a
+// typed error without ever reading past the buffered bytes.
+#include "net/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace geogrid::net {
+namespace {
+
+using Status = FrameDecoder::Status;
+
+Message sample_message() {
+  LocationUpdateAck ack;
+  ack.user = UserId{321};
+  ack.seq = 17;
+  ack.region = RegionId{29};
+  return ack;
+}
+
+TEST(Framing, RoundTripSingleFrame) {
+  const Message m = sample_message();
+  const std::vector<std::byte> wire = encode_frame(m);
+
+  FrameDecoder dec;
+  dec.feed(wire);
+  FrameDecoder::Result r = dec.next();
+  ASSERT_EQ(r.status, Status::kFrame);
+  ASSERT_TRUE(r.message.has_value());
+  EXPECT_EQ(encode_message(*r.message), encode_message(m));
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_EQ(dec.next().status, Status::kNeedMore);
+}
+
+TEST(Framing, AppendFrameReturnsFramedSize) {
+  std::vector<std::byte> out;
+  const std::size_t n = append_frame(sample_message(), out);
+  EXPECT_EQ(n, out.size());
+  const std::size_t m = append_frame(sample_message(), out);
+  EXPECT_EQ(n + m, out.size());
+}
+
+TEST(Framing, ByteAtATimeReassembly) {
+  std::vector<std::byte> wire;
+  const Message m = sample_message();
+  for (int i = 0; i < 3; ++i) append_frame(m, wire);
+
+  FrameDecoder dec;
+  std::size_t frames = 0;
+  for (std::byte b : wire) {
+    dec.feed(&b, 1);
+    while (true) {
+      FrameDecoder::Result r = dec.next();
+      if (r.status != Status::kFrame) {
+        ASSERT_EQ(r.status, Status::kNeedMore);
+        break;
+      }
+      EXPECT_EQ(encode_message(*r.message), encode_message(m));
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 3u);
+}
+
+TEST(Framing, EveryPrefixTruncationNeedsMore) {
+  // No strict prefix of a valid frame may produce a frame or an error.
+  const std::vector<std::byte> wire = encode_frame(sample_message());
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(wire.data(), cut);
+    EXPECT_EQ(dec.next().status, Status::kNeedMore) << "cut at " << cut;
+    EXPECT_FALSE(dec.failed());
+  }
+}
+
+TEST(Framing, TruncatedVarintPrefixWaits) {
+  // 0x80 0x80: two continuation bytes and then silence — an incomplete
+  // length, not (yet) an error.
+  const std::byte partial[] = {std::byte{0x80}, std::byte{0x80}};
+  FrameDecoder dec;
+  dec.feed(partial, sizeof(partial));
+  EXPECT_EQ(dec.next().status, Status::kNeedMore);
+  EXPECT_FALSE(dec.failed());
+}
+
+TEST(Framing, OverlongVarintPrefixFails) {
+  // Six continuation bytes: no frame length needs that width; a peer
+  // sending it is feeding garbage, and waiting forever would be the bug.
+  std::vector<std::byte> bad(6, std::byte{0x80});
+  FrameDecoder dec;
+  dec.feed(bad);
+  FrameDecoder::Result r = dec.next();
+  ASSERT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("varint"), std::string::npos);
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(Framing, OversizedLengthPrefixFailsBeforeBuffering) {
+  // A frame announcing 1 GB against a 1 KB cap must die on the prefix
+  // alone — no body bytes are ever required.
+  Writer w;
+  w.varint(1u << 30);
+  FrameDecoder dec(FrameDecoder::Options{1024});
+  dec.feed(w.bytes());
+  FrameDecoder::Result r = dec.next();
+  ASSERT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("oversized"), std::string::npos);
+}
+
+TEST(Framing, FrameAtExactlyMaxSizePasses) {
+  const Message m = sample_message();
+  const std::size_t body = encode_message(m).size();
+  FrameDecoder dec(FrameDecoder::Options{body});
+  dec.feed(encode_frame(m));
+  EXPECT_EQ(dec.next().status, Status::kFrame);
+
+  FrameDecoder tight(FrameDecoder::Options{body - 1});
+  tight.feed(encode_frame(m));
+  EXPECT_EQ(tight.next().status, Status::kError);
+}
+
+TEST(Framing, UnknownMessageTagFails) {
+  Writer body;
+  body.u16(0x7fff);  // no such MsgType
+  Writer wire;
+  wire.varint(body.size());
+  FrameDecoder dec;
+  dec.feed(wire.bytes());
+  dec.feed(body.bytes());
+  FrameDecoder::Result r = dec.next();
+  ASSERT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("unknown message type"), std::string::npos);
+}
+
+TEST(Framing, TruncatedBodyInsideFrameFails) {
+  // A complete frame whose declared length cuts a field in half: the
+  // codec's truncation error must surface as kError, not an overread.
+  const std::vector<std::byte> msg = encode_message(sample_message());
+  Writer wire;
+  wire.varint(msg.size() - 1);
+  FrameDecoder dec;
+  dec.feed(wire.bytes());
+  dec.feed(msg.data(), msg.size() - 1);
+  EXPECT_EQ(dec.next().status, Status::kError);
+}
+
+TEST(Framing, TrailingGarbageInsideFrameFails) {
+  std::vector<std::byte> msg = encode_message(sample_message());
+  msg.push_back(std::byte{0xee});
+  Writer wire;
+  wire.varint(msg.size());
+  FrameDecoder dec;
+  dec.feed(wire.bytes());
+  dec.feed(msg);
+  FrameDecoder::Result r = dec.next();
+  ASSERT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("trailing"), std::string::npos);
+}
+
+TEST(Framing, ZeroLengthFrameFails) {
+  // length 0 means no type tag at all — truncated message.
+  const std::byte zero{0x00};
+  FrameDecoder dec;
+  dec.feed(&zero, 1);
+  EXPECT_EQ(dec.next().status, Status::kError);
+}
+
+TEST(Framing, ErrorIsStickyAndDropsBuffer) {
+  FrameDecoder dec;
+  std::vector<std::byte> bad(6, std::byte{0x80});
+  dec.feed(bad);
+  ASSERT_EQ(dec.next().status, Status::kError);
+  // A valid frame fed afterwards must not resurrect the stream: framing
+  // was lost, the connection is done.
+  dec.feed(encode_frame(sample_message()));
+  EXPECT_EQ(dec.next().status, Status::kError);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Framing, ManyFramesAcrossChunksCompactTheBuffer) {
+  // Stream 2k frames in ragged chunk sizes; the decoder must hand back
+  // every frame in order while its buffer stays bounded (compaction).
+  std::vector<std::byte> wire;
+  constexpr std::size_t kFrames = 2000;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    LocationUpdateAck ack;
+    ack.user = UserId{static_cast<std::uint32_t>(i)};
+    ack.seq = i;
+    ack.region = RegionId{7};
+    append_frame(Message{ack}, wire);
+  }
+
+  FrameDecoder dec;
+  std::size_t fed = 0;
+  std::size_t got = 0;
+  std::size_t chunk = 1;
+  while (fed < wire.size()) {
+    const std::size_t n = std::min(chunk, wire.size() - fed);
+    dec.feed(wire.data() + fed, n);
+    fed += n;
+    chunk = chunk % 613 + 7;  // ragged, deterministic
+    while (true) {
+      FrameDecoder::Result r = dec.next();
+      if (r.status != Status::kFrame) break;
+      const auto& ack = std::get<LocationUpdateAck>(*r.message);
+      EXPECT_EQ(ack.seq, got);
+      ++got;
+    }
+    EXPECT_LT(dec.buffered(), 8192u);
+  }
+  EXPECT_EQ(got, kFrames);
+}
+
+TEST(Framing, EveryPrefixOfMalformedStreamNeverOverreads) {
+  // Fuzz-ish sweep: truncate a stream that *ends* malformed at every
+  // possible point.  Whatever the cut, the decoder must answer from
+  // buffered bytes only — ASan turns any overread into a hard failure.
+  std::vector<std::byte> wire = encode_frame(sample_message());
+  Writer badbody;
+  badbody.u16(0x7ffe);
+  Writer badlen;
+  badlen.varint(badbody.size());
+  wire.insert(wire.end(), badlen.bytes().begin(), badlen.bytes().end());
+  wire.insert(wire.end(), badbody.bytes().begin(), badbody.bytes().end());
+
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(wire.data(), cut);
+    while (true) {
+      FrameDecoder::Result r = dec.next();
+      if (r.status == Status::kFrame) continue;
+      if (r.status == Status::kNeedMore) break;
+      EXPECT_TRUE(dec.failed());
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geogrid::net

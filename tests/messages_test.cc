@@ -181,8 +181,15 @@ TEST(Messages, EveryTypeRoundTrips) {
     all.push_back(reply);
   }
   all.push_back(LocateReply{9002, UserId{999}});  // not-found reply
+  {
+    NearestRequest nr;
+    nr.query_id = 9003;
+    nr.center = Point{7.5, 8.25};
+    nr.k = 16;
+    all.push_back(nr);
+  }
 
-  EXPECT_EQ(all.size(), 47u);  // every message type exercised
+  EXPECT_EQ(all.size(), 48u);  // every message type exercised
   for (const Message& m : all) expect_roundtrip(m);
 }
 
@@ -320,6 +327,165 @@ TEST(Messages, RegionHandoffFieldsRoundTrip) {
   EXPECT_FALSE(d.neighbors[0].secondary.has_value());
   EXPECT_EQ(d.neighbors[1].region, h.neighbors[1].region);
   EXPECT_EQ(d.vacate, h.vacate);
+}
+
+// --- Load-balance / dual-peer control families --------------------------
+//
+// The same field-level discipline for the adaptation control plane: every
+// message the planner and dual-peer protocols exchange pins each decoded
+// field, so a swapped pair of same-width fields can't hide behind a
+// byte-identical re-encode.
+
+TEST(Messages, HeartbeatFamilyFieldsRoundTrip) {
+  const Heartbeat hb{RegionId{41}, 3.25, 6.75};
+  const Heartbeat d = field_roundtrip(hb);
+  EXPECT_EQ(d.region, hb.region);
+  EXPECT_DOUBLE_EQ(d.load, 3.25);
+  EXPECT_DOUBLE_EQ(d.available, 6.75);
+
+  EXPECT_EQ(field_roundtrip(HeartbeatAck{RegionId{42}}).region, RegionId{42});
+
+  const SyncState s{RegionId{43}, 0xabcdef0123456789ULL, "subs-v2-blob"};
+  const SyncState ds = field_roundtrip(s);
+  EXPECT_EQ(ds.region, s.region);
+  EXPECT_EQ(ds.version, s.version);
+  EXPECT_EQ(ds.payload, s.payload);
+}
+
+TEST(Messages, LoadStatsExchangeFieldsRoundTrip) {
+  const LoadStatsExchange ex{
+      {sample_snapshot(51, true), sample_snapshot(52, false)}};
+  const LoadStatsExchange d = field_roundtrip(ex);
+  ASSERT_EQ(d.regions.size(), 2u);
+  EXPECT_EQ(d.regions[0].region, RegionId{51});
+  EXPECT_EQ(d.regions[0].rect, ex.regions[0].rect);
+  EXPECT_EQ(d.regions[0].primary.id, ex.regions[0].primary.id);
+  ASSERT_TRUE(d.regions[0].secondary.has_value());
+  EXPECT_DOUBLE_EQ(d.regions[0].load, ex.regions[0].load);
+  EXPECT_DOUBLE_EQ(d.regions[0].workload_index,
+                   ex.regions[0].workload_index);
+  EXPECT_EQ(d.regions[0].split_depth, ex.regions[0].split_depth);
+  EXPECT_EQ(d.regions[1].region, RegionId{52});
+  EXPECT_FALSE(d.regions[1].secondary.has_value());
+}
+
+TEST(Messages, StealSecondaryFamilyFieldsRoundTrip) {
+  const StealSecondaryRequest req{RegionId{61}, sample_snapshot(62, true)};
+  const StealSecondaryRequest dr = field_roundtrip(req);
+  EXPECT_EQ(dr.victim_region, RegionId{61});
+  EXPECT_EQ(dr.overloaded.region, RegionId{62});
+  EXPECT_EQ(dr.overloaded.primary.id, req.overloaded.primary.id);
+
+  const StealSecondaryGrant grant{RegionId{63}, sample_node(64, 50.0)};
+  const StealSecondaryGrant dg = field_roundtrip(grant);
+  EXPECT_EQ(dg.victim_region, RegionId{63});
+  EXPECT_EQ(dg.stolen.id, NodeId{64});
+  EXPECT_DOUBLE_EQ(dg.stolen.capacity, 50.0);
+
+  EXPECT_EQ(field_roundtrip(StealSecondaryReject{RegionId{65}}).victim_region,
+            RegionId{65});
+}
+
+TEST(Messages, SwitchFamilyFieldsRoundTrip) {
+  SwitchRequest sr;
+  sr.kind = SwitchKind::kPrimaryWithSecondary;
+  sr.proposer_region = sample_snapshot(71, true);
+  sr.proposer_neighbors = {sample_snapshot(72, false)};
+  sr.target_region = RegionId{73};
+  const SwitchRequest dr = field_roundtrip(sr);
+  EXPECT_EQ(dr.kind, SwitchKind::kPrimaryWithSecondary);
+  EXPECT_EQ(dr.proposer_region.region, RegionId{71});
+  ASSERT_EQ(dr.proposer_neighbors.size(), 1u);
+  EXPECT_EQ(dr.proposer_neighbors[0].region, RegionId{72});
+  EXPECT_EQ(dr.target_region, RegionId{73});
+
+  const SwitchGrant grant{SwitchKind::kPrimaryWithPrimary, RegionId{74},
+                          sample_node(75)};
+  const SwitchGrant dg = field_roundtrip(grant);
+  EXPECT_EQ(dg.kind, SwitchKind::kPrimaryWithPrimary);
+  EXPECT_EQ(dg.target_region, RegionId{74});
+  EXPECT_EQ(dg.counterpart.id, NodeId{75});
+
+  EXPECT_EQ(field_roundtrip(SwitchReject{RegionId{76}}).target_region,
+            RegionId{76});
+}
+
+TEST(Messages, MergeFamilyFieldsRoundTrip) {
+  MergeRequest mr;
+  mr.proposer_region = sample_snapshot(81, false);
+  mr.proposer_neighbors = {sample_snapshot(82, true),
+                           sample_snapshot(83, false)};
+  mr.target_region = RegionId{84};
+  const MergeRequest dr = field_roundtrip(mr);
+  EXPECT_EQ(dr.proposer_region.region, RegionId{81});
+  ASSERT_EQ(dr.proposer_neighbors.size(), 2u);
+  EXPECT_EQ(dr.proposer_neighbors[0].region, RegionId{82});
+  EXPECT_EQ(dr.proposer_neighbors[1].region, RegionId{83});
+  EXPECT_EQ(dr.target_region, RegionId{84});
+
+  const MergeGrant dg = field_roundtrip(MergeGrant{sample_snapshot(85, true)});
+  EXPECT_EQ(dg.merged.region, RegionId{85});
+  ASSERT_TRUE(dg.merged.secondary.has_value());
+
+  EXPECT_EQ(field_roundtrip(MergeReject{RegionId{86}}).target_region,
+            RegionId{86});
+}
+
+TEST(Messages, SplitRegionNoticeFieldsRoundTrip) {
+  const SplitRegionNotice n{RegionId{91}, sample_snapshot(92, false),
+                            sample_snapshot(93, true)};
+  const SplitRegionNotice d = field_roundtrip(n);
+  EXPECT_EQ(d.old_region, RegionId{91});
+  EXPECT_EQ(d.low.region, RegionId{92});
+  EXPECT_EQ(d.high.region, RegionId{93});
+  EXPECT_EQ(d.low.rect, n.low.rect);
+  EXPECT_EQ(d.high.rect, n.high.rect);
+}
+
+TEST(Messages, TtlSearchFamilyFieldsRoundTrip) {
+  TtlSearchRequest t;
+  t.search_id = 0xfeedface;
+  t.origin = sample_node(94, 200.0);
+  t.want = SearchWant::kPrimary;
+  t.min_capacity = 123.5;
+  t.max_index = 0.125;
+  t.ttl = 5;
+  t.depth = 3;
+  const TtlSearchRequest dt = field_roundtrip(t);
+  EXPECT_EQ(dt.search_id, t.search_id);
+  EXPECT_EQ(dt.origin.id, NodeId{94});
+  EXPECT_EQ(dt.want, SearchWant::kPrimary);
+  EXPECT_DOUBLE_EQ(dt.min_capacity, 123.5);
+  EXPECT_DOUBLE_EQ(dt.max_index, 0.125);
+  EXPECT_EQ(dt.ttl, 5);
+  EXPECT_EQ(dt.depth, 3);
+
+  const TtlSearchReply reply{0xcafebabe, sample_snapshot(95, true),
+                             SearchWant::kSecondary};
+  const TtlSearchReply dr = field_roundtrip(reply);
+  EXPECT_EQ(dr.search_id, reply.search_id);
+  EXPECT_EQ(dr.candidate.region, RegionId{95});
+  EXPECT_EQ(dr.role, SearchWant::kSecondary);
+}
+
+TEST(Messages, OwnerProbeFieldsRoundTrip) {
+  const OwnerProbe p{RegionId{96}, sample_node(97, 4.5)};
+  const OwnerProbe d = field_roundtrip(p);
+  EXPECT_EQ(d.region, RegionId{96});
+  EXPECT_EQ(d.prober.id, NodeId{97});
+  EXPECT_EQ(d.prober.coord, p.prober.coord);
+  EXPECT_DOUBLE_EQ(d.prober.capacity, 4.5);
+}
+
+TEST(Messages, NearestRequestFieldsRoundTrip) {
+  NearestRequest nr;
+  nr.query_id = 0xabc000def;
+  nr.center = Point{-12.25, 99.5};
+  nr.k = 0x80000001u;  // forces the full u32 width
+  const NearestRequest d = field_roundtrip(nr);
+  EXPECT_EQ(d.query_id, nr.query_id);
+  EXPECT_EQ(d.center, nr.center);
+  EXPECT_EQ(d.k, nr.k);
 }
 
 TEST(Messages, UnknownTypeThrows) {

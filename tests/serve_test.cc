@@ -1,0 +1,473 @@
+// The serving edge end-to-end over real loopback sockets: lifecycle, the
+// wire-vs-in-process byte-identity contract, notification push,
+// query-after-update visibility, backpressure gating, and hostile-input
+// survival — each run under both poller backends.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "mobility/query_engine.h"
+#include "mobility/sharded_directory.h"
+#include "net/framing.h"
+#include "overlay/partition.h"
+#include "pubsub/notification_engine.h"
+#include "pubsub/subscription_index.h"
+#include "serve/client.h"
+
+namespace geogrid::serve {
+namespace {
+
+using mobility::LocationRecord;
+using mobility::Query;
+using mobility::QueryEngine;
+using mobility::ShardedDirectory;
+using pubsub::NotificationEngine;
+using pubsub::SubscriptionIndex;
+
+constexpr Rect kPlane{0.0, 0.0, 64.0, 64.0};
+
+// The mobile-layer quadrant geometry shared with the mobility/pubsub
+// suites: four regions via two split rounds.
+struct QuadrantFixture {
+  overlay::Partition partition{kPlane};
+  QuadrantFixture() {
+    const NodeId a = partition.add_node({NodeId{1}, Point{10, 10}, 10.0});
+    const NodeId b = partition.add_node({NodeId{2}, Point{10, 50}, 10.0});
+    const NodeId c = partition.add_node({NodeId{3}, Point{50, 10}, 10.0});
+    const NodeId d = partition.add_node({NodeId{4}, Point{50, 50}, 10.0});
+    const RegionId root = partition.create_root(a);
+    const RegionId north = partition.split(root, b);
+    partition.split(root, c);
+    partition.split(north, d);
+    EXPECT_EQ(partition.region_count(), 4u);
+  }
+};
+
+/// One full engine complement.  The server test always runs two: a sharded
+/// multi-threaded stack behind the wire and a serial single-shard stack as
+/// the in-process reference — identical answers are the contract.
+struct EngineStack {
+  QuadrantFixture fx;
+  ShardedDirectory dir;
+  QueryEngine queries;
+  SubscriptionIndex subs;
+  NotificationEngine notify;
+
+  EngineStack(std::size_t shards, std::size_t threads)
+      : dir(fx.partition, {.shards = shards, .track_deltas = true}),
+        queries(dir, {.threads = threads}),
+        subs(kPlane),
+        notify(dir, subs, {.threads = threads}) {}
+
+  ServerEngines engines() { return {dir, queries, subs, notify}; }
+
+  std::vector<std::byte> dir_bytes() const {
+    net::Writer w;
+    dir.serialize(w);
+    return std::move(w).take();
+  }
+};
+
+/// Deterministic fleet positions inside the plane; epoch e moves every
+/// `stride`-th user a little.
+std::vector<LocationRecord> fleet_batch(std::size_t users, std::uint64_t seq,
+                                        std::size_t stride = 1) {
+  std::vector<LocationRecord> recs;
+  recs.reserve(users);
+  for (std::size_t i = 0; i < users; ++i) {
+    const double base_x = static_cast<double>((i * 7 + 3) % 61) + 0.5;
+    const double base_y = static_cast<double>((i * 13 + 5) % 59) + 0.5;
+    Point p{base_x, base_y};
+    if (i % stride == 0) {
+      p.x += 0.25 * static_cast<double>(seq % 3);
+      p.y += 0.25 * static_cast<double>(seq % 2);
+    }
+    recs.push_back(LocationRecord{
+        UserId{static_cast<std::uint32_t>(i + 1)}, p, seq, 0.0});
+  }
+  return recs;
+}
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+std::vector<std::byte> result_bytes(
+    std::span<const mobility::QueryResult> results) {
+  net::Writer w;
+  QueryEngine::serialize(w, results);
+  return std::move(w).take();
+}
+
+std::vector<std::byte> notify_bytes(std::span<const net::Notify> batch) {
+  std::vector<std::byte> out;
+  for (const net::Notify& n : batch) {
+    const auto frame = net::encode_message(net::Message{n});
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  return out;
+}
+
+class ServeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  core::ServeOptions base_options() const {
+    core::ServeOptions opt;
+    opt.use_poll = GetParam();
+    return opt;
+  }
+
+  Client make_client(const Server& server) {
+    Client::Options copt;
+    copt.port = server.port();
+    Client c(copt);
+    c.connect();
+    return c;
+  }
+};
+
+TEST_P(ServeTest, StartStopAssignsEphemeralPort) {
+  EngineStack stack(2, 1);
+  Server server(stack.engines(), base_options());
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(server.port(), 0);
+
+  Client c = make_client(server);
+  EXPECT_TRUE(c.connected());
+  EXPECT_TRUE(wait_until([&] { return server.connection_count() == 1; }));
+  c.close();
+  EXPECT_TRUE(wait_until([&] { return server.connection_count() == 0; }));
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_P(ServeTest, WireStreamsMatchInProcessEngines) {
+  EngineStack wired(4, 2);    // behind the server
+  EngineStack reference(1, 1);  // in-process, serial
+
+  core::ServeOptions opt = base_options();
+  opt.ingest_flush_records = 256;
+  Server server(wired.engines(), opt);
+  server.start();
+
+  Client c = make_client(server);
+  const std::vector<LocationRecord> batch = fleet_batch(500, 1);
+  EXPECT_EQ(c.update_batch(batch), 500u);
+  reference.dir.apply_updates(batch);
+
+  // Mixed read batch over the wire vs the reference engine directly.
+  std::vector<Query> queries;
+  for (std::uint32_t i = 1; i <= 40; ++i) {
+    queries.push_back(Query::locate(UserId{i * 13}));  // tail misses (>500)
+  }
+  queries.push_back(Query::range(Rect{0, 0, 32, 32}));
+  queries.push_back(Query::range(Rect{16, 16, 40, 40}));
+  queries.push_back(Query::nearest(Point{32, 32}, 8));
+  queries.push_back(Query::nearest(Point{5, 60}, 3));
+
+  const std::vector<mobility::QueryResult> got = c.query_batch(queries);
+  const std::vector<mobility::QueryResult> want = reference.queries.run(queries);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(result_bytes(got), result_bytes(want));
+
+  c.close();
+  server.stop();
+  // The stored state itself is byte-identical too (canonical across shard
+  // counts; wire-ingested records are stamped timestamp 0.0 on both sides).
+  EXPECT_EQ(wired.dir_bytes(), reference.dir_bytes());
+
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.updates_in, 500u);
+  EXPECT_EQ(counters.locates_in, 40u);
+  EXPECT_EQ(counters.ranges_in, 2u);
+  EXPECT_EQ(counters.nearests_in, 2u);
+  EXPECT_GE(counters.ingest_flushes, 1u);
+  EXPECT_GT(server.latency(net::MsgType::kLocationUpdate).count(), 0u);
+  EXPECT_GT(server.latency(net::MsgType::kLocateRequest).count(), 0u);
+}
+
+TEST_P(ServeTest, NotificationsPushedOverTheWireMatchReference) {
+  EngineStack wired(4, 2);
+  EngineStack reference(1, 1);
+
+  core::ServeOptions opt = base_options();
+  opt.ingest_flush_records = 300;  // exactly one flush per 300-user batch
+  opt.flush_deadline_ms = 10000;   // never the trigger here
+  Server server(wired.engines(), opt);
+  server.start();
+  Client c = make_client(server);
+
+  // Three subscription kinds, mirrored verbatim into the reference index.
+  const Rect fence{0, 0, 24, 24};
+  const Rect range{8, 8, 40, 40};
+  c.subscribe_area(1, fence, geofence_filter(1));
+  c.subscribe_area(2, range, range_filter(2));
+  c.subscribe_friend(3, UserId{7});
+  {
+    net::Subscribe s1;
+    s1.sub_id = 1;
+    s1.area = fence;
+    s1.filter = geofence_filter(1);
+    reference.subs.subscribe(s1, subscription_spec(s1).kind);
+    net::Subscribe s2;
+    s2.sub_id = 2;
+    s2.area = range;
+    s2.filter = range_filter(2);
+    reference.subs.subscribe(s2, subscription_spec(s2).kind);
+    net::Subscribe s3;
+    s3.sub_id = 3;
+    s3.filter = friend_filter(UserId{7});
+    reference.subs.subscribe_friend(s3, UserId{7});
+  }
+
+  std::vector<net::Notify> reference_stream;
+  std::vector<net::Notify> wire_stream;
+  for (std::uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    const std::vector<LocationRecord> batch =
+        fleet_batch(300, epoch, /*stride=*/epoch == 1 ? 1 : 3);
+    EXPECT_EQ(c.update_batch(batch), 300u);  // acks follow the epoch flush
+    reference.dir.apply_updates(batch);
+    std::size_t expected = 0;
+    for (const pubsub::Notification& n : reference.notify.drain()) {
+      reference_stream.push_back(reference.notify.to_notify(n));
+      ++expected;
+    }
+    // The epoch's Notifys were queued right after its acks; keep polling
+    // until the whole epoch's push arrived.
+    EXPECT_TRUE(wait_until([&] {
+      return c.poll_notifications(10) >= expected;
+    }));
+    for (net::Notify& n : c.take_notifications()) {
+      wire_stream.push_back(std::move(n));
+    }
+  }
+
+  EXPECT_FALSE(reference_stream.empty());
+  EXPECT_EQ(wire_stream.size(), reference_stream.size());
+  EXPECT_EQ(notify_bytes(wire_stream), notify_bytes(reference_stream));
+
+  c.close();
+  server.stop();
+  EXPECT_EQ(server.counters().notifies_out, reference_stream.size());
+  // Disconnect cleans up the standing subscriptions.
+  EXPECT_EQ(wired.subs.size(), 0u);
+}
+
+TEST_P(ServeTest, QueryForcesVisibilityOfStagedUpdates) {
+  EngineStack wired(2, 1);
+  core::ServeOptions opt = base_options();
+  opt.ingest_flush_records = 1 << 20;  // size never triggers
+  opt.flush_deadline_ms = 10000;       // deadline never triggers
+  Server server(wired.engines(), opt);
+  server.start();
+  Client c = make_client(server);
+
+  const std::vector<LocationRecord> batch = fleet_batch(50, 1);
+  c.update_batch(batch, /*wait_acks=*/false);
+  // The locate must observe every update sent before it: the query flush
+  // forces the ingest flush first.
+  const mobility::QueryResult r = c.locate(UserId{17});
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.located.user, UserId{17});
+  EXPECT_EQ(r.located.seq, 1u);
+
+  c.close();
+  server.stop();
+  const auto counters = server.counters();
+  EXPECT_GE(counters.forced_flushes, 1u);
+  EXPECT_EQ(counters.updates_in, 50u);
+}
+
+TEST_P(ServeTest, BackpressureGatesReadsUntilFlush) {
+  EngineStack wired(2, 1);
+  core::ServeOptions opt = base_options();
+  opt.backpressure_records = 2048;  // tiny: force gating
+  opt.ingest_flush_records = 1 << 20;
+  opt.flush_deadline_ms = 1;  // drain via deadline flushes
+  Server server(wired.engines(), opt);
+  server.start();
+  Client c = make_client(server);
+
+  // ~20k updates is several hundred KB — far more than one 64KB read, so
+  // the staged queue crosses the watermark mid-burst and the loop must
+  // gate the socket, flush, re-open, and still ack everything.
+  const std::vector<LocationRecord> batch = fleet_batch(20000, 1);
+  EXPECT_EQ(c.update_batch(batch), 20000u);
+
+  c.close();
+  server.stop();
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.updates_in, 20000u);
+  EXPECT_EQ(counters.acks_out, 20000u);
+  EXPECT_GT(counters.backpressure_gates, 0u);
+  EXPECT_GT(counters.ingest_flushes, 1u);
+}
+
+TEST_P(ServeTest, MalformedFrameClosesConnectionServerSurvives) {
+  EngineStack wired(2, 1);
+  Server server(wired.engines(), base_options());
+  server.start();
+
+  // Hostile peer: six varint continuation bytes — an overlong length
+  // prefix the decoder must reject.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const unsigned char garbage[6] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80};
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+
+  // The server cuts the connection (recv sees EOF) and stays up.
+  EXPECT_TRUE(wait_until([&] {
+    return server.counters().malformed_frames == 1;
+  }));
+  char buf[8];
+  EXPECT_TRUE(wait_until([&] {
+    return ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT) == 0;
+  }));
+  ::close(fd);
+
+  Client c = make_client(server);
+  c.update_batch(fleet_batch(10, 1));
+  EXPECT_TRUE(c.locate(UserId{1}).found);
+  c.close();
+  server.stop();
+  EXPECT_EQ(server.counters().malformed_frames, 1u);
+}
+
+TEST_P(ServeTest, OversizedFramePrefixCutsConnection) {
+  EngineStack wired(2, 1);
+  core::ServeOptions opt = base_options();
+  opt.max_frame_bytes = 1024;
+  Server server(wired.engines(), opt);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  net::Writer w;
+  w.varint(1u << 30);  // announce a 1GB frame
+  ASSERT_GT(::send(fd, w.bytes().data(), w.bytes().size(), 0), 0);
+  EXPECT_TRUE(wait_until([&] {
+    return server.counters().malformed_frames == 1;
+  }));
+  char buf[8];
+  EXPECT_TRUE(wait_until([&] {
+    return ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT) == 0;
+  }));
+  ::close(fd);
+  server.stop();
+}
+
+TEST_P(ServeTest, ConcurrentClientsAllServed) {
+  EngineStack wired(4, 2);
+  core::ServeOptions opt = base_options();
+  opt.ingest_flush_records = 512;
+  Server server(wired.engines(), opt);
+  server.start();
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 1000;
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> located{0};
+  for (std::size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client::Options copt;
+      copt.port = server.port();
+      Client c(copt);
+      c.connect();
+      // Disjoint user ranges per client; each verifies its own slice.
+      std::vector<LocationRecord> recs;
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const auto uid =
+            static_cast<std::uint32_t>(t * kPerClient + i + 1);
+        recs.push_back(LocationRecord{
+            UserId{uid},
+            Point{static_cast<double>(uid % 61) + 0.5,
+                  static_cast<double>(uid % 59) + 0.5},
+            1, 0.0});
+      }
+      ASSERT_EQ(c.update_batch(recs), kPerClient);
+      std::vector<Query> qs;
+      for (std::size_t i = 0; i < 32; ++i) {
+        qs.push_back(Query::locate(
+            UserId{static_cast<std::uint32_t>(t * kPerClient + i + 1)}));
+      }
+      for (const mobility::QueryResult& r : c.query_batch(qs)) {
+        if (r.found) located.fetch_add(1, std::memory_order_relaxed);
+      }
+      c.close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.stop();
+
+  EXPECT_EQ(located.load(), kClients * 32);
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.updates_in, kClients * kPerClient);
+  EXPECT_EQ(counters.acks_out, kClients * kPerClient);
+  EXPECT_EQ(counters.accepted, kClients);
+}
+
+TEST_P(ServeTest, UnsubscribeStopsPush) {
+  EngineStack wired(2, 1);
+  core::ServeOptions opt = base_options();
+  opt.ingest_flush_records = 100;
+  opt.flush_deadline_ms = 10000;
+  Server server(wired.engines(), opt);
+  server.start();
+  Client c = make_client(server);
+
+  c.subscribe_area(1, Rect{0, 0, 64, 64}, range_filter(1));
+  EXPECT_EQ(c.update_batch(fleet_batch(100, 1)), 100u);
+  c.poll_notifications(50);
+  EXPECT_GT(c.take_notifications().size(), 0u);  // enters for the fleet
+
+  c.unsubscribe(1);
+  // The unsubscribe has no ack; a synchronous locate fences it (FIFO).
+  c.locate(UserId{1});
+  EXPECT_EQ(c.update_batch(fleet_batch(100, 2)), 100u);
+  c.poll_notifications(50);
+  EXPECT_EQ(c.take_notifications().size(), 0u);
+
+  c.close();
+  server.stop();
+  EXPECT_EQ(wired.subs.size(), 0u);
+}
+
+std::string backend_name(const ::testing::TestParamInfo<bool>& param) {
+  return param.param ? "PollBackend" : "EpollBackend";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServeTest, ::testing::Values(false, true),
+                         backend_name);
+
+}  // namespace
+}  // namespace geogrid::serve
